@@ -1,0 +1,95 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md §2 for the index) and prints it in the paper's
+// row/series shape. The graph suite substitutes synthetic graphs for the
+// paper's inputs (DESIGN.md §4); CONNECTIT_BENCH_SCALE=large grows them.
+
+#ifndef CONNECTIT_BENCH_BENCH_COMMON_H_
+#define CONNECTIT_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+
+namespace connectit::bench {
+
+inline bool LargeScale() {
+  const char* env = std::getenv("CONNECTIT_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "large") == 0;
+}
+
+// Wall-clock seconds for one invocation of fn.
+inline double TimeIt(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Minimum over `reps` invocations (the usual benchmarking convention).
+inline double TimeBest(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, TimeIt(fn));
+  return best;
+}
+
+struct BenchGraph {
+  std::string name;
+  Graph graph;
+};
+
+// The bench suite, mirroring the regimes of the paper's Table 2 inputs:
+//   road      — high-diameter sparse grid           (road_usa analog)
+//   social    — skewed low-diameter RMAT            (LiveJournal/Twitter)
+//   dense     — uniform-degree denser Erdos-Renyi   (com-Orkut analog)
+//   ba        — preferential attachment             (Friendster analog)
+//   web       — many components + one massive blob  (ClueWeb/Hyperlink)
+inline std::vector<BenchGraph> Suite() {
+  const int s = LargeScale() ? 4 : 1;
+  std::vector<BenchGraph> suite;
+  suite.push_back({"road", GenerateGrid(512 * s, 512 * s)});
+  suite.push_back(
+      {"social", GenerateRmat(262144u * s, 2097152u * s, /*seed=*/42)});
+  suite.push_back(
+      {"dense", GenerateErdosRenyi(131072u * s, 2097152u * s, /*seed=*/43)});
+  suite.push_back(
+      {"ba", GenerateBarabasiAlbert(131072u * s, 12, /*seed=*/44)});
+  suite.push_back({"web", GenerateComponentMixture(262144u * s, 24,
+                                                   /*seed=*/45,
+                                                   /*edges_per_vertex=*/16)});
+  return suite;
+}
+
+// A smaller suite for exhaustive per-variant sweeps.
+inline std::vector<BenchGraph> SmallSuite() {
+  const int s = LargeScale() ? 4 : 1;
+  std::vector<BenchGraph> suite;
+  suite.push_back({"road", GenerateGrid(256 * s, 256 * s)});
+  suite.push_back(
+      {"social", GenerateRmat(65536u * s, 524288u * s, /*seed=*/42)});
+  return suite;
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const char* title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title);
+  PrintRule();
+}
+
+}  // namespace connectit::bench
+
+#endif  // CONNECTIT_BENCH_BENCH_COMMON_H_

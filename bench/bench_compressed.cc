@@ -1,0 +1,41 @@
+// Compressed-graph pipeline bench (paper §3.6): compression ratio of the
+// byte-coded format per graph, and the run-time cost of computing
+// connectivity directly on the compressed representation — the trade the
+// paper makes to fit 128 B-edge graphs in 1 TB of RAM.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/connectit.h"
+#include "src/graph/compressed.h"
+
+int main() {
+  using namespace connectit;
+  using Finish = UnionFindFinish<UniteOption::kRemCas, FindOption::kNaive,
+                                 SpliceOption::kSplitOne>;
+
+  bench::PrintTitle(
+      "Compressed pipeline: byte-coded CSR size and connectivity cost "
+      "(Union-Rem-CAS, k-out sampling)");
+  std::printf("%-10s %12s %12s %8s %14s %14s %10s\n", "Graph", "Raw(MB)",
+              "Coded(MB)", "Ratio", "CC plain(s)", "CC coded(s)", "Slowdown");
+  for (const auto& [name, graph] : bench::Suite()) {
+    const CompressedGraph cg = CompressedGraph::Encode(graph);
+    const double raw_mb =
+        static_cast<double>(graph.num_arcs() * sizeof(NodeId)) / 1e6;
+    const double coded_mb = static_cast<double>(cg.byte_size()) / 1e6;
+    const double t_plain = bench::TimeBest(
+        [&] { RunConnectivity<Finish>(graph, SamplingConfig::KOut()); }, 2);
+    const double t_coded = bench::TimeBest(
+        [&] { RunConnectivity<Finish>(cg, SamplingConfig::KOut()); }, 2);
+    std::printf("%-10s %12.2f %12.2f %7.2fx %14.3e %14.3e %9.2fx\n",
+                name.c_str(), raw_mb, coded_mb, raw_mb / coded_mb, t_plain,
+                t_coded, t_coded / t_plain);
+  }
+  std::printf(
+      "\nExpected shape (paper): byte coding shrinks web-like graphs ~2.7x\n"
+      "(more with locality-preserving vertex orders) at a modest decode\n"
+      "cost, which is what makes the Hyperlink graphs processable on one\n"
+      "machine.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figures 22, 23, 24: the four k-out sampling strategies
+// (afforest / pure / hybrid / maxdeg) swept over k — sampling time,
+// fraction of inter-component edges (log-interpretable), and coverage.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/connectit.h"
+#include "src/core/sampling.h"
+
+int main() {
+  using namespace connectit;
+  const auto suite = bench::Suite();
+  const KOutVariant variants[] = {KOutVariant::kAfforest, KOutVariant::kPure,
+                                  KOutVariant::kHybrid,
+                                  KOutVariant::kMaxDegree};
+
+  bench::PrintTitle(
+      "Figures 22-24: k-out sampling sweep over k and strategy (time / "
+      "inter-component fraction / coverage)");
+  std::printf("%-10s %-14s %3s %12s %12s %12s\n", "Graph", "Strategy", "k",
+              "Time(s)", "PctIC", "Coverage");
+  for (const auto& [name, graph] : suite) {
+    for (const KOutVariant variant : variants) {
+      for (uint32_t k = 1; k <= 5; ++k) {
+        KOutOptions options;
+        options.variant = variant;
+        options.k = k;
+        std::vector<NodeId> labels;
+        const double t = bench::TimeBest(
+            [&] {
+              labels = IdentityLabels(graph.num_nodes());
+              KOutSample(graph, options, labels);
+            },
+            2);
+        const SamplingQuality q = MeasureSamplingQuality(graph, labels);
+        std::printf("%-10s %-14s %3u %12.4e %11.5f%% %11.2f%%\n",
+                    name.c_str(), std::string(ToString(variant)).c_str(), k,
+                    t, 100 * q.intercomponent_fraction, 100 * q.coverage);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): k=1 performs poorly for all schemes except\n"
+      "maxdeg on power-law graphs; for k>=2 only a tiny fraction of\n"
+      "inter-component edges remains (far below the n/k bound); maxdeg is\n"
+      "the most expensive scheme; hybrid tracks afforest at k=1 and pure at\n"
+      "larger k.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Table 1 (in substituted form): connectivity on the largest
+// graph this environment can synthesize, comparing every system built in
+// this repository — the stand-in for the paper's Hyperlink2012 comparison
+// against external/distributed systems (which require the proprietary
+// WebDataCommons crawl and a 1TB machine; see DESIGN.md §4).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/afforest.h"
+#include "src/baselines/bfscc.h"
+#include "src/baselines/gapbs_sv.h"
+#include "src/baselines/seq_cc.h"
+#include "src/baselines/workefficient_cc.h"
+#include "src/core/registry.h"
+#include "src/graph/compressed.h"
+
+int main() {
+  using namespace connectit;
+  const NodeId n = bench::LargeScale() ? (1u << 22) : (1u << 19);
+  const EdgeId m = 8ull * n;
+  std::printf("Generating RMAT graph: n=%u, m=%llu ...\n", n,
+              static_cast<unsigned long long>(m));
+  const Graph graph = GenerateRmat(n, m, /*seed=*/2012);
+
+  bench::PrintTitle(
+      "Table 1 (substituted): all systems on the largest local graph");
+  std::printf("%-36s %12s %10s\n", "System", "Time(s)", "vs best");
+
+  struct Entry {
+    std::string name;
+    double time;
+  };
+  std::vector<Entry> entries;
+  entries.push_back(
+      {"Sequential union-find",
+       bench::TimeIt([&] { SequentialUnionFindCC(graph); })});
+  entries.push_back({"BFSCC (Ligra)", bench::TimeIt([&] { BfsCC(graph); })});
+  entries.push_back({"WorkefficientCC (Shun et al.)",
+                     bench::TimeIt([&] { WorkEfficientCC(graph); })});
+  entries.push_back({"GAPBS (Shiloach-Vishkin)",
+                     bench::TimeIt([&] { GapbsShiloachVishkin(graph); })});
+  entries.push_back(
+      {"GAPBS (Afforest)", bench::TimeIt([&] { AfforestCC(graph); })});
+
+  const Variant* fastest =
+      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  entries.push_back(
+      {"ConnectIt (no sampling)",
+       bench::TimeIt([&] { fastest->run(graph, SamplingConfig::None()); })});
+  entries.push_back(
+      {"ConnectIt (k-out sampling)",
+       bench::TimeIt([&] { fastest->run(graph, SamplingConfig::KOut()); })});
+  {
+    SamplingConfig afforest_kout = SamplingConfig::KOut();
+    afforest_kout.kout.variant = KOutVariant::kAfforest;
+    entries.push_back(
+        {"ConnectIt (k-out, afforest rule)",
+         bench::TimeIt([&] { fastest->run(graph, afforest_kout); })});
+  }
+  entries.push_back(
+      {"ConnectIt (BFS sampling)",
+       bench::TimeIt([&] { fastest->run(graph, SamplingConfig::Bfs()); })});
+  entries.push_back(
+      {"ConnectIt (LDD sampling)",
+       bench::TimeIt([&] { fastest->run(graph, SamplingConfig::Ldd()); })});
+
+  double best = 1e300;
+  for (const Entry& e : entries) best = std::min(best, e.time);
+  for (const Entry& e : entries) {
+    std::printf("%-36s %12.3f %9.2fx\n", e.name.c_str(), e.time,
+                e.time / best);
+  }
+
+  // Compression footprint (Table 1 discusses the memory side; the paper's
+  // byte-coded graphs are ~2.7x smaller than raw).
+  const CompressedGraph cg = CompressedGraph::Encode(graph);
+  const double raw_gb =
+      static_cast<double>(graph.num_arcs() * sizeof(NodeId)) / 1e9;
+  const double compressed_gb = static_cast<double>(cg.byte_size()) / 1e9;
+  std::printf(
+      "\nGraph storage: raw CSR edges %.3f GB, byte-coded %.3f GB "
+      "(%.2fx smaller)\n",
+      raw_gb, compressed_gb, raw_gb / compressed_gb);
+  std::printf(
+      "\nExpected shape (paper): the fastest sampled ConnectIt variant beats\n"
+      "every other system (3.1x over the prior record on Hyperlink2012).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks for the primitives underlying every
+// ConnectIt variant: find/compaction rules on deep forests, unite
+// operations, WriteMin under contention, and the parallel runtime.
+
+#include <numeric>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/graph/generators.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/random.h"
+#include "src/parallel/thread_pool.h"
+#include "src/unionfind/dsu.h"
+#include "src/unionfind/find.h"
+
+namespace connectit {
+namespace {
+
+std::vector<NodeId> MakeChain(NodeId n) {
+  std::vector<NodeId> p(n);
+  for (NodeId v = 0; v < n; ++v) p[v] = (v == 0) ? 0 : v - 1;
+  return p;
+}
+
+template <FindOption kFind>
+void BM_FindOnChain(benchmark::State& state) {
+  const NodeId depth = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<NodeId> p = MakeChain(depth);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(Find<kFind>(depth - 1, p.data()));
+  }
+}
+BENCHMARK_TEMPLATE(BM_FindOnChain, FindOption::kNaive)->Arg(64)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_FindOnChain, FindOption::kSplit)->Arg(64)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_FindOnChain, FindOption::kHalve)->Arg(64)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_FindOnChain, FindOption::kCompress)->Arg(64)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_FindOnChain, FindOption::kTwoTrySplit)->Arg(64)->Arg(4096);
+
+template <UniteOption kU, FindOption kF, SpliceOption kS>
+void BM_UniteRandomEdges(benchmark::State& state) {
+  const NodeId n = 1 << 16;
+  const EdgeList edges = GenerateErdosRenyiEdges(n, 4 * n, 9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<NodeId> p(n);
+    std::iota(p.begin(), p.end(), NodeId{0});
+    Dsu<kU, kF, kS> dsu(p.data(), n);
+    state.ResumeTiming();
+    ParallelFor(0, edges.size(), [&](size_t i) {
+      dsu.Unite(edges.edges[i].u, edges.edges[i].v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK_TEMPLATE(BM_UniteRandomEdges, UniteOption::kAsync, FindOption::kNaive, SpliceOption::kNone);
+BENCHMARK_TEMPLATE(BM_UniteRandomEdges, UniteOption::kHooks, FindOption::kNaive, SpliceOption::kNone);
+BENCHMARK_TEMPLATE(BM_UniteRandomEdges, UniteOption::kEarly, FindOption::kNaive, SpliceOption::kNone);
+BENCHMARK_TEMPLATE(BM_UniteRandomEdges, UniteOption::kRemCas, FindOption::kNaive, SpliceOption::kSplitOne);
+BENCHMARK_TEMPLATE(BM_UniteRandomEdges, UniteOption::kRemLock, FindOption::kNaive, SpliceOption::kSplitOne);
+BENCHMARK_TEMPLATE(BM_UniteRandomEdges, UniteOption::kJtb, FindOption::kTwoTrySplit, SpliceOption::kNone);
+
+void BM_WriteMinContended(benchmark::State& state) {
+  uint64_t target = UINT64_MAX;
+  size_t i = 0;
+  for (auto _ : state) {
+    WriteMin(&target, Hash64(i++));
+    benchmark::DoNotOptimize(target);
+  }
+}
+BENCHMARK(BM_WriteMinContended);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> out(n);
+  for (auto _ : state) {
+    ParallelFor(0, n, [&](size_t v) { out[v] = v * 3; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1024)->Arg(1 << 20);
+
+void BM_ScanExclusive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> data(n, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ScanExclusive(data.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 20);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> data(n);
+    for (size_t i = 0; i < n; ++i) data[i] = rng.Get(i);
+    state.ResumeTiming();
+    ParallelSort(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace connectit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces Table 5: STINGER's streaming connected components vs
+// ConnectIt's Union-Rem-CAS (SplitAtomicOne) when inserting RMAT batches of
+// varying sizes into an initially empty graph. Times for STINGER cover only
+// its label maintenance (its adjacency update time is excluded), matching
+// the paper's protocol.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/stinger_cc.h"
+#include "src/core/registry.h"
+#include "src/graph/generators.h"
+
+int main() {
+  using namespace connectit;
+  const NodeId n = bench::LargeScale() ? (1u << 20) : (1u << 17);
+  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  if (v == nullptr) return 1;
+
+  bench::PrintTitle(
+      "Table 5: STINGER-style streaming CC vs ConnectIt (RMAT inserts into "
+      "an empty graph)");
+  std::printf("%10s %14s %14s %14s %14s %10s\n", "BatchSize", "STINGER(s)",
+              "STINGER(up/s)", "ConnectIt(s)", "ConnectIt(up/s)", "Speedup");
+
+  const size_t max_batch = bench::LargeScale() ? 2000000 : 200000;
+  size_t stream_index = 0;
+  for (size_t batch = 10; batch <= max_batch; batch *= 10) {
+    // Fresh structures per batch size, several batches each to stabilize.
+    const size_t num_batches = 4;
+    const EdgeList edges = GenerateRmatEdges(
+        n, batch * num_batches, /*seed=*/1000 + stream_index++);
+
+    StingerStreamingCC stinger(n);
+    double stinger_time = 0;
+    for (size_t b = 0; b < num_batches; ++b) {
+      const std::vector<Edge> chunk(
+          edges.edges.begin() + b * batch,
+          edges.edges.begin() + (b + 1) * batch);
+      stinger_time += stinger.InsertBatch(chunk);
+    }
+    stinger_time /= num_batches;
+
+    auto alg = v->make_streaming(n);
+    double connectit_time = 0;
+    for (size_t b = 0; b < num_batches; ++b) {
+      const std::vector<Edge> chunk(
+          edges.edges.begin() + b * batch,
+          edges.edges.begin() + (b + 1) * batch);
+      connectit_time += bench::TimeIt([&] { alg->ProcessBatch(chunk, {}); });
+    }
+    connectit_time /= num_batches;
+
+    std::printf("%10zu %14.3e %14.3e %14.3e %14.3e %9.0fx\n", batch,
+                stinger_time, batch / stinger_time, connectit_time,
+                batch / connectit_time, stinger_time / connectit_time);
+  }
+  std::printf(
+      "\nExpected shape (paper): ConnectIt outperforms the STINGER-style\n"
+      "algorithm by 3-4 orders of magnitude (1,461x-28,364x in the paper);\n"
+      "even tiny ConnectIt batches beat STINGER's largest batches.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 17: throughput of the Union-Rem-CAS streaming variants
+// (find option x splice option) as a function of the insert-to-query ratio
+// within a batch. For ratio x, each update is accompanied by 1/x random
+// queries; the batch is randomly permuted.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/registry.h"
+#include "src/graph/builder.h"
+#include "src/parallel/random.h"
+
+int main() {
+  using namespace connectit;
+  const NodeId n = bench::LargeScale() ? (1u << 20) : (1u << 16);
+  const Graph graph = GenerateErdosRenyi(n, 8ull * n, /*seed=*/5);
+  const EdgeList updates = ExtractEdges(graph);
+
+  const std::vector<std::string> variants = {
+      "Union-Rem-CAS;FindSplit;SplitAtomicOne",
+      "Union-Rem-CAS;FindSplit;HalveAtomicOne",
+      "Union-Rem-CAS;FindSplit;SpliceAtomic",
+      "Union-Rem-CAS;FindHalve;SplitAtomicOne",
+      "Union-Rem-CAS;FindHalve;HalveAtomicOne",
+      "Union-Rem-CAS;FindHalve;SpliceAtomic",
+      "Union-Rem-CAS;FindNaive;SplitAtomicOne",
+      "Union-Rem-CAS;FindNaive;HalveAtomicOne",
+      "Union-Rem-CAS;FindNaive;SpliceAtomic",
+  };
+  const double ratios[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+  bench::PrintTitle(
+      "Figure 17: Union-Rem-CAS streaming throughput (ops/s) vs "
+      "insert-to-query ratio");
+  std::printf("%-44s", "Variant");
+  for (double r : ratios) std::printf(" %8.2f", r);
+  std::printf("\n");
+  bench::PrintRule(140);
+
+  Rng rng(123);
+  for (const std::string& vn : variants) {
+    const Variant* v = FindVariant(vn);
+    if (v == nullptr) continue;
+    std::printf("%-44s", vn.c_str());
+    for (const double ratio : ratios) {
+      // Queries per update = 1/ratio (rounded).
+      const size_t queries_per_update =
+          std::max<size_t>(1, static_cast<size_t>(1.0 / ratio + 0.5));
+      std::vector<Edge> queries;
+      queries.reserve(updates.size() * queries_per_update);
+      for (size_t i = 0; i < updates.size() * queries_per_update; ++i) {
+        queries.push_back(
+            {static_cast<NodeId>(rng.GetBounded(2 * i, n)),
+             static_cast<NodeId>(rng.GetBounded(2 * i + 1, n))});
+      }
+      const size_t total_ops = updates.size() + queries.size();
+      const double t = bench::TimeIt([&] {
+        auto alg = v->make_streaming(n);
+        alg->ProcessBatch(updates.edges, queries);
+      });
+      std::printf(" %8.1e", static_cast<double>(total_ops) / t);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): with few inserts (small ratio) the\n"
+      "compressing find options win — queries help later queries; as the\n"
+      "ratio approaches 1, FindNaive with SplitAtomicOne takes over, as in\n"
+      "the static setting.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Road-network scenario: high-diameter graphs invert the paper's
+// recommendations (BFS sampling degrades; k-out stays cheap). This example
+// follows the paper's §4.2 guidance, demonstrates spanning-forest
+// extraction for the road graph, and round-trips the graph through the
+// binary on-disk format.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/core/registry.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+int main() {
+  using namespace connectit;
+
+  // A 512 x 512 grid: ~262k intersections, diameter > 1000.
+  const Graph road = GenerateGrid(512, 512);
+  std::printf("road network: n=%u, m=%llu\n", road.num_nodes(),
+              static_cast<unsigned long long>(road.num_edges()));
+
+  const Variant* algorithm =
+      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  if (algorithm == nullptr) return 1;
+
+  auto time_run = [&](const char* name, const SamplingConfig& config) {
+    const auto t0 = std::chrono::steady_clock::now();
+    algorithm->run(road, config);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("  %-16s : %.4f s\n", name, s);
+    return s;
+  };
+  std::printf("sampling strategies on a high-diameter graph:\n");
+  const double t_none = time_run("no sampling", SamplingConfig::None());
+  const double t_kout = time_run("k-out sampling", SamplingConfig::KOut());
+  const double t_bfs = time_run("BFS sampling", SamplingConfig::Bfs());
+  std::printf(
+      "  (paper guidance: on high-diameter graphs prefer k-out; BFS\n"
+      "   sampling pays ~diameter rounds: here %.1fx vs %.1fx the\n"
+      "   unsampled time)\n",
+      t_kout / t_none, t_bfs / t_none);
+
+  // Spanning forest = the road network's skeleton (e.g., for minimal
+  // road-closure analysis).
+  const SpanningForestResult forest = algorithm->run_forest(road, {});
+  std::printf("spanning forest edges: %zu (n - #components = %u)\n",
+              forest.edges.size(), road.num_nodes() - 1);
+
+  // Persist and reload the network.
+  const std::string path = "/tmp/connectit_road.bin";
+  if (WriteGraphBinary(path, road)) {
+    Graph reloaded;
+    if (ReadGraphBinary(path, &reloaded)) {
+      std::printf("binary round-trip ok: n=%u, m=%llu (%s)\n",
+                  reloaded.num_nodes(),
+                  static_cast<unsigned long long>(reloaded.num_edges()),
+                  path.c_str());
+    }
+    std::remove(path.c_str());
+  }
+  return 0;
+}

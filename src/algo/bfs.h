@@ -1,0 +1,173 @@
+// Direction-optimizing parallel breadth-first search (Beamer et al.),
+// the substrate for BFS sampling, BFSCC, and spanning-forest BFS trees.
+//
+// Generic over the graph representation: any GraphT providing num_nodes(),
+// num_arcs(), degree(v), MapNeighbors(u, fn), and MapNeighborsWhile(u, fn)
+// works — both Graph (plain CSR) and CompressedGraph qualify.
+
+#ifndef CONNECTIT_ALGO_BFS_H_
+#define CONNECTIT_ALGO_BFS_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+struct BfsResult {
+  // parent[v] = predecessor of v in the BFS tree; parent[src] = src;
+  // kInvalidNode for unreached vertices.
+  std::vector<NodeId> parents;
+  // Number of vertices reached (including the source).
+  NodeId num_reached = 0;
+  // Number of BFS rounds that discovered vertices (the eccentricity of src
+  // within its component).
+  NodeId num_rounds = 0;
+};
+
+struct BfsOptions {
+  // Frontier-density threshold for switching to the pull (bottom-up)
+  // direction: switch when frontier edges exceed remaining_edges / alpha.
+  double alpha = 15.0;
+  // Switch back to push when frontier shrinks below n / beta vertices.
+  double beta = 18.0;
+};
+
+namespace internal_bfs {
+
+// Sparse (push) step: expand the frontier vertex list, claiming unvisited
+// neighbors with CAS. Returns the next frontier.
+template <typename GraphT>
+std::vector<NodeId> PushStep(const GraphT& graph,
+                             const std::vector<NodeId>& frontier,
+                             std::vector<NodeId>& parents) {
+  std::vector<std::vector<NodeId>> local(frontier.size());
+  ParallelFor(
+      0, frontier.size(),
+      [&](size_t i) {
+        const NodeId u = frontier[i];
+        graph.MapNeighbors(u, [&](NodeId v) {
+          if (AtomicLoadRelaxed(&parents[v]) == kInvalidNode &&
+              CompareAndSwap(&parents[v], kInvalidNode, u)) {
+            local[i].push_back(v);
+          }
+        });
+      },
+      /*grain=*/16);
+  std::vector<size_t> counts(frontier.size());
+  for (size_t i = 0; i < frontier.size(); ++i) counts[i] = local[i].size();
+  const size_t total = ScanExclusive(counts.data(), counts.size());
+  std::vector<NodeId> next(total);
+  ParallelFor(
+      0, frontier.size(),
+      [&](size_t i) {
+        std::copy(local[i].begin(), local[i].end(), next.begin() + counts[i]);
+      },
+      /*grain=*/64);
+  return next;
+}
+
+// Dense (pull) step: every unvisited vertex scans its neighbors for a
+// visited one. Returns the number of newly reached vertices.
+template <typename GraphT>
+NodeId PullStep(const GraphT& graph, const std::vector<uint8_t>& in_frontier,
+                std::vector<uint8_t>& next_frontier,
+                std::vector<NodeId>& parents) {
+  const NodeId n = graph.num_nodes();
+  std::atomic<NodeId> added{0};
+  ParallelFor(
+      0, n,
+      [&](size_t vi) {
+        const NodeId v = static_cast<NodeId>(vi);
+        next_frontier[v] = 0;
+        if (parents[v] != kInvalidNode) return;
+        graph.MapNeighborsWhile(v, [&](NodeId u) {
+          if (in_frontier[u]) {
+            parents[v] = u;
+            next_frontier[v] = 1;
+            added.fetch_add(1, std::memory_order_relaxed);
+            return false;  // stop scanning this vertex
+          }
+          return true;
+        });
+      },
+      /*grain=*/128);
+  return added.load();
+}
+
+template <typename GraphT>
+EdgeId FrontierEdges(const GraphT& graph,
+                     const std::vector<NodeId>& frontier) {
+  return ParallelSum<EdgeId>(0, frontier.size(), [&](size_t i) {
+    return graph.degree(frontier[i]);
+  });
+}
+
+}  // namespace internal_bfs
+
+// Runs BFS from `source`. Deterministic tree for the pull direction;
+// push-direction parents are CAS-winners (any valid BFS tree).
+template <typename GraphT>
+BfsResult Bfs(const GraphT& graph, NodeId source,
+              const BfsOptions& options = {}) {
+  const NodeId n = graph.num_nodes();
+  BfsResult result;
+  result.parents.assign(n, kInvalidNode);
+  if (n == 0) return result;
+  result.parents[source] = source;
+  result.num_reached = 1;
+
+  std::vector<NodeId> frontier = {source};
+  std::vector<uint8_t> dense_frontier;
+  std::vector<uint8_t> dense_next;
+  bool dense = false;
+  EdgeId remaining_edges = graph.num_arcs();
+
+  while (true) {
+    if (!dense) {
+      if (frontier.empty()) break;
+      const EdgeId frontier_edges =
+          internal_bfs::FrontierEdges(graph, frontier);
+      if (frontier_edges >
+          static_cast<EdgeId>(static_cast<double>(remaining_edges) /
+                              options.alpha)) {
+        // Switch to pull: materialize the bitmap.
+        dense_frontier.assign(n, 0);
+        for (NodeId v : frontier) dense_frontier[v] = 1;
+        dense_next.assign(n, 0);
+        dense = true;
+        continue;
+      }
+      remaining_edges -= frontier_edges;
+      frontier = internal_bfs::PushStep(graph, frontier, result.parents);
+      result.num_reached += static_cast<NodeId>(frontier.size());
+      // Only count rounds that discovered vertices, so num_rounds equals
+      // the source's eccentricity within its component.
+      if (!frontier.empty()) ++result.num_rounds;
+    } else {
+      const NodeId added = internal_bfs::PullStep(graph, dense_frontier,
+                                                  dense_next, result.parents);
+      if (added == 0) break;
+      result.num_reached += added;
+      ++result.num_rounds;
+      std::swap(dense_frontier, dense_next);
+      if (added <
+          static_cast<NodeId>(static_cast<double>(n) / options.beta)) {
+        // Shrink back to the sparse representation.
+        frontier = ParallelPack<NodeId>(
+            n, [&](size_t v) { return dense_frontier[v] != 0; },
+            [](size_t v) { return static_cast<NodeId>(v); });
+        dense = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_ALGO_BFS_H_

@@ -1,0 +1,135 @@
+// Low-diameter decomposition of Miller, Peng, and Xu (paper §3.2).
+//
+// Vertices wake up at exponentially distributed start times (simulated by a
+// permutation + exponential offsets, as in Shun et al.) and run simultaneous
+// BFS; each vertex joins the cluster of the first search that reaches it.
+// With parameter beta, clusters have O(log n / beta) strong diameter and
+// O(beta * m) inter-cluster edges in expectation.
+//
+// Generic over the graph representation (see bfs.h for the concept).
+
+#ifndef CONNECTIT_ALGO_LDD_H_
+#define CONNECTIT_ALGO_LDD_H_
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/graph/builder.h"
+#include "src/graph/csr.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+struct LddOptions {
+  double beta = 0.2;
+  // If true, vertices are randomly permuted before assigning start times;
+  // otherwise the natural vertex order is used (paper Fig. 19-21 compares
+  // both).
+  bool permute = true;
+  uint64_t seed = 42;
+};
+
+struct LddResult {
+  // cluster[v] = id (a vertex) of the cluster containing v. Every cluster
+  // id c has cluster[c] == c.
+  std::vector<NodeId> clusters;
+  // BFS-tree parent within the cluster; parent[c] == c for centers. Used by
+  // spanning-forest sampling.
+  std::vector<NodeId> parents;
+  NodeId num_clusters = 0;
+  NodeId num_rounds = 0;
+};
+
+template <typename GraphT>
+LddResult LowDiameterDecomposition(const GraphT& graph,
+                                   const LddOptions& options = {}) {
+  const NodeId n = graph.num_nodes();
+  LddResult result;
+  result.clusters.assign(n, kInvalidNode);
+  result.parents.assign(n, kInvalidNode);
+  if (n == 0) return result;
+
+  // Vertex wake-up order. With permute=false the natural order is used,
+  // matching the "no_permute" configuration of the paper's Figures 19-21.
+  std::vector<NodeId> order;
+  if (options.permute) {
+    order = RandomPermutation(n, options.seed);
+    // order[v] gives the new position of v; we need position -> vertex.
+    std::vector<NodeId> by_pos(n);
+    for (NodeId v = 0; v < n; ++v) by_pos[order[v]] = v;
+    order = std::move(by_pos);
+  } else {
+    order.resize(n);
+    for (NodeId v = 0; v < n; ++v) order[v] = v;
+  }
+
+  std::vector<NodeId> frontier;
+  NodeId woken = 0;  // prefix of `order` already started
+  NodeId covered = 0;
+  NodeId round = 0;
+  std::atomic<NodeId> covered_delta{0};
+
+  while (covered < n) {
+    // Vertices waking this round: prefix grows like e^(beta * round).
+    const double target = std::exp(options.beta * static_cast<double>(round));
+    NodeId wake_to = (target >= static_cast<double>(n))
+                         ? n
+                         : static_cast<NodeId>(target);
+    if (wake_to <= woken && frontier.empty()) wake_to = woken + 1;
+    if (wake_to > n) wake_to = n;
+    for (NodeId p = woken; p < wake_to; ++p) {
+      const NodeId v = order[p];
+      if (result.clusters[v] == kInvalidNode) {
+        result.clusters[v] = v;
+        result.parents[v] = v;
+        frontier.push_back(v);
+        ++covered;
+        ++result.num_clusters;
+      }
+    }
+    woken = wake_to;
+
+    // One synchronous BFS step for all live clusters.
+    std::vector<std::vector<NodeId>> local(frontier.size());
+    covered_delta.store(0, std::memory_order_relaxed);
+    ParallelFor(
+        0, frontier.size(),
+        [&](size_t i) {
+          const NodeId u = frontier[i];
+          const NodeId cu = result.clusters[u];
+          graph.MapNeighbors(u, [&](NodeId v) {
+            if (AtomicLoadRelaxed(&result.clusters[v]) == kInvalidNode &&
+                CompareAndSwap(&result.clusters[v], kInvalidNode, cu)) {
+              result.parents[v] = u;
+              local[i].push_back(v);
+              covered_delta.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        },
+        /*grain=*/16);
+    covered += covered_delta.load();
+
+    std::vector<size_t> counts(frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) counts[i] = local[i].size();
+    const size_t total = ScanExclusive(counts.data(), counts.size());
+    std::vector<NodeId> next(total);
+    ParallelFor(
+        0, frontier.size(),
+        [&](size_t i) {
+          std::copy(local[i].begin(), local[i].end(),
+                    next.begin() + counts[i]);
+        },
+        /*grain=*/64);
+    frontier = std::move(next);
+    ++round;
+  }
+  result.num_rounds = round;
+  return result;
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_ALGO_LDD_H_

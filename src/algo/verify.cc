@@ -1,0 +1,158 @@
+#include "src/algo/verify.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/algo/bfs.h"
+
+namespace connectit {
+
+namespace {
+
+// Plain sequential union-find with path halving + union by size.
+class SeqDsu {
+ public:
+  explicit SeqDsu(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId Find(NodeId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> size_;
+};
+
+std::vector<NodeId> LabelsFromDsu(SeqDsu& dsu, size_t n) {
+  // Canonical form: min vertex id per component.
+  std::vector<NodeId> min_label(n, kInvalidNode);
+  for (size_t v = 0; v < n; ++v) {
+    const NodeId r = dsu.Find(static_cast<NodeId>(v));
+    min_label[r] = std::min(min_label[r], static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> labels(n);
+  for (size_t v = 0; v < n; ++v) {
+    labels[v] = min_label[dsu.Find(static_cast<NodeId>(v))];
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<NodeId> SequentialComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  SeqDsu dsu(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (v > u) dsu.Union(u, v);
+    }
+  }
+  return LabelsFromDsu(dsu, n);
+}
+
+std::vector<NodeId> SequentialComponents(const EdgeList& edges) {
+  SeqDsu dsu(edges.num_nodes);
+  for (const Edge& e : edges.edges) dsu.Union(e.u, e.v);
+  return LabelsFromDsu(dsu, edges.num_nodes);
+}
+
+std::vector<NodeId> CanonicalizeLabels(const std::vector<NodeId>& labels) {
+  std::unordered_map<NodeId, NodeId> min_of_label;
+  min_of_label.reserve(64);
+  for (size_t v = 0; v < labels.size(); ++v) {
+    auto [it, inserted] =
+        min_of_label.try_emplace(labels[v], static_cast<NodeId>(v));
+    if (!inserted) it->second = std::min(it->second, static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> out(labels.size());
+  for (size_t v = 0; v < labels.size(); ++v) {
+    out[v] = min_of_label[labels[v]];
+  }
+  return out;
+}
+
+bool CheckComponentsMatch(const Graph& graph,
+                          const std::vector<NodeId>& labels) {
+  if (labels.size() != graph.num_nodes()) return false;
+  return SamePartition(labels, SequentialComponents(graph));
+}
+
+bool SamePartition(const std::vector<NodeId>& labels,
+                   const std::vector<NodeId>& expected) {
+  if (labels.size() != expected.size()) return false;
+  return CanonicalizeLabels(labels) == CanonicalizeLabels(expected);
+}
+
+ComponentStats ComputeComponentStats(const std::vector<NodeId>& labels) {
+  ComponentStats stats;
+  std::unordered_map<NodeId, NodeId> counts;
+  for (NodeId label : labels) ++counts[label];
+  stats.num_components = static_cast<NodeId>(counts.size());
+  for (const auto& [label, count] : counts) {
+    stats.largest_component = std::max(stats.largest_component, count);
+  }
+  return stats;
+}
+
+bool CheckSpanningForest(const Graph& graph,
+                         const std::vector<Edge>& forest_edges) {
+  const NodeId n = graph.num_nodes();
+  // Every forest edge must be a graph edge.
+  for (const Edge& e : forest_edges) {
+    if (e.u >= n || e.v >= n) return false;
+    const auto nbrs = graph.neighbors(e.u);
+    if (!std::binary_search(nbrs.begin(), nbrs.end(), e.v)) return false;
+  }
+  // Acyclic: unioning forest edges must never join an already-joined pair.
+  SeqDsu dsu(n);
+  for (const Edge& e : forest_edges) {
+    if (dsu.Find(e.u) == dsu.Find(e.v)) return false;  // cycle
+    dsu.Union(e.u, e.v);
+  }
+  // Size: n - #components edges means the forest spans every component.
+  const ComponentStats stats =
+      ComputeComponentStats(SequentialComponents(graph));
+  return forest_edges.size() ==
+         static_cast<size_t>(n) - static_cast<size_t>(stats.num_components);
+}
+
+NodeId EstimateEffectiveDiameter(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return 0;
+  const std::vector<NodeId> labels = SequentialComponents(graph);
+  // Find the largest component's smallest vertex.
+  std::unordered_map<NodeId, NodeId> counts;
+  for (NodeId label : labels) ++counts[label];
+  NodeId best_label = 0;
+  NodeId best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  // The BFS round count is the eccentricity of the start vertex within its
+  // component — the lower-bound-style "effective diameter" the paper
+  // reports for its large graphs.
+  return Bfs(graph, best_label).num_rounds;
+}
+
+}  // namespace connectit

@@ -1,0 +1,56 @@
+// Correctness oracles and component statistics.
+//
+// The sequential label computation here is the ground truth every parallel
+// variant is validated against in the test suite.
+
+#ifndef CONNECTIT_ALGO_VERIFY_H_
+#define CONNECTIT_ALGO_VERIFY_H_
+
+#include <vector>
+
+#include "src/graph/coo.h"
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+// Canonical sequential connectivity labels: label[v] = smallest vertex id in
+// v's component.
+std::vector<NodeId> SequentialComponents(const Graph& graph);
+std::vector<NodeId> SequentialComponents(const EdgeList& edges);
+
+// Normalizes an arbitrary valid labeling to the canonical form (label of a
+// component = min vertex id in it), enabling direct comparison.
+std::vector<NodeId> CanonicalizeLabels(const std::vector<NodeId>& labels);
+
+// True iff `labels` induces exactly the connectivity structure of `graph`:
+// endpoints of every edge share a label and distinct components have
+// distinct labels.
+bool CheckComponentsMatch(const Graph& graph,
+                          const std::vector<NodeId>& labels);
+
+// True iff `labels` (component ids) and `expected` (ground truth) induce
+// the same partition of vertices.
+bool SamePartition(const std::vector<NodeId>& labels,
+                   const std::vector<NodeId>& expected);
+
+struct ComponentStats {
+  NodeId num_components = 0;
+  NodeId largest_component = 0;
+};
+
+ComponentStats ComputeComponentStats(const std::vector<NodeId>& labels);
+
+// True iff `forest_edges` is a spanning forest of `graph`: every edge exists
+// in the graph, the edge set is acyclic, and it has exactly
+// n - num_components edges (which together imply it spans every component).
+bool CheckSpanningForest(const Graph& graph,
+                         const std::vector<Edge>& forest_edges);
+
+// Effective diameter estimate: eccentricity of the BFS tree from the first
+// vertex of the largest component (a lower bound on the true diameter,
+// as reported in the paper's Table 2 for large graphs).
+NodeId EstimateEffectiveDiameter(const Graph& graph);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_ALGO_VERIFY_H_

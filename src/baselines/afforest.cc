@@ -1,0 +1,45 @@
+#include "src/baselines/afforest.h"
+
+#include "src/core/connectit.h"
+#include "src/core/frequent.h"
+#include "src/parallel/thread_pool.h"
+#include "src/unionfind/dsu.h"
+
+namespace connectit {
+
+std::vector<NodeId> AfforestCC(const Graph& graph, uint32_t neighbor_rounds) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> labels = IdentityLabels(n);
+  Dsu<UniteOption::kAsync, FindOption::kHalve> dsu(labels.data(), n);
+  // Sampling phase: link the first `neighbor_rounds` neighbors of every
+  // vertex (deterministic first-k rule of the original Afforest).
+  for (uint32_t r = 0; r < neighbor_rounds; ++r) {
+    ParallelFor(
+        0, n,
+        [&](size_t ui) {
+          const NodeId u = static_cast<NodeId>(ui);
+          if (graph.degree(u) > r) dsu.Unite(u, graph.neighbors(u)[r]);
+        },
+        /*grain=*/128);
+  }
+  FullyCompressParents(labels.data(), n);
+  const NodeId frequent = IdentifyFrequentSampled(labels).label;
+  const std::vector<uint8_t> skip = MakeSkipMask(labels, frequent);
+  // Finish phase: for every vertex outside the frequent component, link its
+  // remaining edges.
+  ParallelFor(
+      0, n,
+      [&](size_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        if (skip[u]) return;
+        const auto nbrs = graph.neighbors(u);
+        for (EdgeId j = neighbor_rounds; j < nbrs.size(); ++j) {
+          dsu.Unite(u, nbrs[j]);
+        }
+      },
+      /*grain=*/64);
+  FullyCompressParents(labels.data(), n);
+  return labels;
+}
+
+}  // namespace connectit

@@ -1,0 +1,18 @@
+// GAPBS-style Afforest (Sutton, Ben-Nun, Barak; paper §4.3): link the first
+// k edges of every vertex, skip the most frequent component found, and
+// finish the remaining vertices with all of their edges.
+
+#ifndef CONNECTIT_BASELINES_AFFOREST_H_
+#define CONNECTIT_BASELINES_AFFOREST_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+std::vector<NodeId> AfforestCC(const Graph& graph, uint32_t neighbor_rounds = 2);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_BASELINES_AFFOREST_H_

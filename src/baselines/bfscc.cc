@@ -1,0 +1,25 @@
+#include "src/baselines/bfscc.h"
+
+#include "src/algo/bfs.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+std::vector<NodeId> BfsCC(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> labels(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (labels[v] != kInvalidNode) continue;
+    if (graph.degree(v) == 0) {  // isolated vertex: skip the BFS machinery
+      labels[v] = v;
+      continue;
+    }
+    const BfsResult bfs = Bfs(graph, v);
+    ParallelFor(0, n, [&](size_t u) {
+      if (bfs.parents[u] != kInvalidNode) labels[u] = v;
+    });
+  }
+  return labels;
+}
+
+}  // namespace connectit

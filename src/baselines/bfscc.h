@@ -1,0 +1,19 @@
+// BFSCC (Ligra's BFS-based connectivity, paper §4.3): computes each
+// component by running a parallel direction-optimizing BFS from the first
+// uncovered vertex. Fast on low-diameter graphs with few components; degrades
+// with diameter and component count.
+
+#ifndef CONNECTIT_BASELINES_BFSCC_H_
+#define CONNECTIT_BASELINES_BFSCC_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+std::vector<NodeId> BfsCC(const Graph& graph);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_BASELINES_BFSCC_H_

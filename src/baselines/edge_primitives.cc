@@ -1,0 +1,44 @@
+#include "src/baselines/edge_primitives.h"
+
+#include <vector>
+
+#include "src/parallel/primitives.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+uint64_t MapEdges(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint64_t> out(n);
+  ParallelFor(
+      0, n,
+      [&](size_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        uint64_t acc = 0;
+        for (NodeId v : graph.neighbors(u)) {
+          acc += 1 + (v & 1);  // touch the value so the scan is not elided
+        }
+        out[u] = acc;
+      },
+      /*grain=*/128);
+  return ParallelSum<uint64_t>(0, n, [&](size_t v) { return out[v]; });
+}
+
+uint64_t GatherEdges(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> data(n);
+  ParallelFor(0, n, [&](size_t v) { data[v] = static_cast<uint32_t>(v * 2654435761u); });
+  std::vector<uint64_t> out(n);
+  ParallelFor(
+      0, n,
+      [&](size_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        uint64_t acc = 0;
+        for (NodeId v : graph.neighbors(u)) acc += data[v];
+        out[u] = acc;
+      },
+      /*grain=*/128);
+  return ParallelSum<uint64_t>(0, n, [&](size_t v) { return out[v]; });
+}
+
+}  // namespace connectit

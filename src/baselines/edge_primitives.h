@@ -1,0 +1,26 @@
+// MapEdges / GatherEdges (paper Appendix C.4.1): basic graph primitives used
+// as empirical lower bounds on connectivity performance. MapEdges reads
+// every edge sequentially (the cost of scanning the graph); GatherEdges
+// additionally performs one indirect read per edge into a vertex-indexed
+// array (the access pattern every min-based connectivity algorithm incurs).
+
+#ifndef CONNECTIT_BASELINES_EDGE_PRIMITIVES_H_
+#define CONNECTIT_BASELINES_EDGE_PRIMITIVES_H_
+
+#include <cstdint>
+
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+// Sums 1 per arc into per-vertex accumulators; returns total (== num_arcs).
+// The return value exists to keep the traversal observable.
+uint64_t MapEdges(const Graph& graph);
+
+// For every arc (u, v), reads data[v] from a vertex-indexed array and
+// accumulates it; returns the checksum.
+uint64_t GatherEdges(const Graph& graph);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_BASELINES_EDGE_PRIMITIVES_H_

@@ -1,0 +1,41 @@
+#include "src/baselines/gapbs_sv.h"
+
+#include <atomic>
+
+#include "src/parallel/atomics.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+std::vector<NodeId> GapbsShiloachVishkin(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> comp(n);
+  ParallelFor(0, n, [&](size_t v) { comp[v] = static_cast<NodeId>(v); });
+  bool change = true;
+  while (change) {
+    change = false;
+    std::atomic<bool> changed{false};
+    graph.MapArcs([&](NodeId u, NodeId v) {
+      const NodeId cu = AtomicLoadRelaxed(&comp[u]);
+      const NodeId cv = AtomicLoadRelaxed(&comp[v]);
+      // Hook: if u's component is smaller and v's component id is a
+      // "top-level" entry, adopt it (plain write, benign race — the round
+      // loop re-runs until stable, as in GAPBS).
+      if (cu < cv && cv == AtomicLoadRelaxed(&comp[cv])) {
+        AtomicStore(&comp[cv], cu);
+        changed.store(true, std::memory_order_relaxed);
+      }
+    });
+    // Pointer jumping.
+    ParallelFor(0, n, [&](size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      NodeId c = AtomicLoadRelaxed(&comp[v]);
+      while (c != AtomicLoadRelaxed(&comp[c])) c = AtomicLoadRelaxed(&comp[c]);
+      AtomicStore(&comp[v], c);
+    });
+    change = changed.load();
+  }
+  return comp;
+}
+
+}  // namespace connectit

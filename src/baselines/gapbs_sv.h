@@ -1,0 +1,19 @@
+// GAPBS-style Shiloach-Vishkin (paper §4.3): the classic component-array
+// formulation with plain racy hook writes, as shipped in the GAP Benchmark
+// Suite. Kept as a faithful comparison target; ConnectIt's own SV variant
+// (src/sv/) uses WriteMin hooks instead.
+
+#ifndef CONNECTIT_BASELINES_GAPBS_SV_H_
+#define CONNECTIT_BASELINES_GAPBS_SV_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+std::vector<NodeId> GapbsShiloachVishkin(const Graph& graph);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_BASELINES_GAPBS_SV_H_

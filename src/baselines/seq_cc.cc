@@ -1,0 +1,37 @@
+#include "src/baselines/seq_cc.h"
+
+#include <numeric>
+
+namespace connectit {
+
+std::vector<NodeId> SequentialUnionFindCC(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> parent(n);
+  std::iota(parent.begin(), parent.end(), NodeId{0});
+  auto find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (v <= u) continue;
+      NodeId ru = find(u);
+      NodeId rv = find(v);
+      if (ru == rv) continue;
+      // Union by ID keeps the minimum as the root.
+      if (ru < rv) {
+        parent[rv] = ru;
+      } else {
+        parent[ru] = rv;
+      }
+    }
+  }
+  std::vector<NodeId> labels(n);
+  for (NodeId v = 0; v < n; ++v) labels[v] = find(v);
+  return labels;
+}
+
+}  // namespace connectit

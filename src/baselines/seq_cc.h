@@ -1,0 +1,19 @@
+// Sequential union-find connectivity: the simplest correct baseline and the
+// single-thread reference point for speedup numbers.
+
+#ifndef CONNECTIT_BASELINES_SEQ_CC_H_
+#define CONNECTIT_BASELINES_SEQ_CC_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+// Canonical labels via sequential union-find with path halving and union by
+// ID (label = min vertex of component).
+std::vector<NodeId> SequentialUnionFindCC(const Graph& graph);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_BASELINES_SEQ_CC_H_

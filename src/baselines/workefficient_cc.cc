@@ -1,0 +1,88 @@
+#include "src/baselines/workefficient_cc.h"
+
+#include <atomic>
+
+#include "src/algo/ldd.h"
+#include "src/algo/verify.h"
+#include "src/graph/builder.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+namespace {
+
+std::vector<NodeId> Recurse(const Graph& graph, double beta, uint64_t seed,
+                            int depth) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> labels(n);
+  if (graph.num_arcs() == 0) {
+    ParallelFor(0, n, [&](size_t v) { labels[v] = static_cast<NodeId>(v); });
+    return labels;
+  }
+  if (depth > 48) {
+    // Safety valve: adversarial shapes where the LDD stops making progress.
+    return SequentialComponents(graph);
+  }
+  LddOptions options;
+  options.beta = beta;
+  options.permute = true;
+  options.seed = seed;
+  const LddResult ldd = LowDiameterDecomposition(graph, options);
+
+  // Renumber cluster centers densely.
+  std::vector<NodeId> centers = ParallelPack<NodeId>(
+      n, [&](size_t v) { return ldd.clusters[v] == v; },
+      [](size_t v) { return static_cast<NodeId>(v); });
+  const NodeId k = static_cast<NodeId>(centers.size());
+  std::vector<NodeId> index(n, kInvalidNode);
+  ParallelFor(0, k, [&](size_t i) {
+    index[centers[i]] = static_cast<NodeId>(i);
+  });
+
+  // Contracted edge list: one entry per inter-cluster arc with u < v after
+  // renumbering (BuildGraph dedupes parallel edges).
+  std::vector<EdgeId> counts(static_cast<size_t>(n) + 1, 0);
+  ParallelFor(0, n, [&](size_t ui) {
+    const NodeId u = static_cast<NodeId>(ui);
+    const NodeId cu = index[ldd.clusters[u]];
+    EdgeId c = 0;
+    for (NodeId v : graph.neighbors(u)) {
+      const NodeId cv = index[ldd.clusters[v]];
+      c += (cu < cv) ? 1 : 0;
+    }
+    counts[ui] = c;
+  });
+  const EdgeId total = ScanExclusive(counts.data(), n);
+  EdgeList contracted;
+  contracted.num_nodes = k;
+  contracted.edges.resize(total);
+  ParallelFor(0, n, [&](size_t ui) {
+    const NodeId u = static_cast<NodeId>(ui);
+    const NodeId cu = index[ldd.clusters[u]];
+    EdgeId pos = counts[ui];
+    for (NodeId v : graph.neighbors(u)) {
+      const NodeId cv = index[ldd.clusters[v]];
+      if (cu < cv) contracted.edges[pos++] = {cu, cv};
+    }
+  });
+  const Graph contracted_graph = BuildGraph(contracted);
+  const std::vector<NodeId> sub =
+      Recurse(contracted_graph, beta, seed * 0x9e37 + 1, depth + 1);
+  // Map back: v's component = the original id of the center representing
+  // the contracted component of v's cluster.
+  ParallelFor(0, n, [&](size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    labels[v] = centers[sub[index[ldd.clusters[v]]]];
+  });
+  return labels;
+}
+
+}  // namespace
+
+std::vector<NodeId> WorkEfficientCC(const Graph& graph, double beta,
+                                    uint64_t seed) {
+  return Recurse(graph, beta, seed, 0);
+}
+
+}  // namespace connectit

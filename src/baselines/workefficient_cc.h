@@ -1,0 +1,19 @@
+// WorkEfficientCC (Shun, Dhulipala, Blelloch; paper §4.3): the provably
+// work-efficient parallel connectivity algorithm based on recursively
+// applying low-diameter decomposition and graph contraction.
+
+#ifndef CONNECTIT_BASELINES_WORKEFFICIENT_CC_H_
+#define CONNECTIT_BASELINES_WORKEFFICIENT_CC_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+std::vector<NodeId> WorkEfficientCC(const Graph& graph, double beta = 0.2,
+                                    uint64_t seed = 11);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_BASELINES_WORKEFFICIENT_CC_H_

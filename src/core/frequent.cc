@@ -1,0 +1,47 @@
+#include "src/core/frequent.h"
+
+#include <unordered_map>
+
+#include "src/parallel/random.h"
+
+namespace connectit {
+
+FrequentResult IdentifyFrequentExact(const std::vector<NodeId>& labels) {
+  FrequentResult result;
+  result.inspected = labels.size();
+  std::unordered_map<NodeId, uint64_t> counts;
+  counts.reserve(1024);
+  for (NodeId label : labels) ++counts[label];
+  for (const auto& [label, count] : counts) {
+    if (count > result.count ||
+        (count == result.count && label < result.label)) {
+      result.count = count;
+      result.label = label;
+    }
+  }
+  return result;
+}
+
+FrequentResult IdentifyFrequentSampled(const std::vector<NodeId>& labels,
+                                       uint32_t num_samples, uint64_t seed) {
+  FrequentResult result;
+  if (labels.empty()) return result;
+  if (labels.size() <= num_samples) return IdentifyFrequentExact(labels);
+  result.inspected = num_samples;
+  Rng rng(seed);
+  std::unordered_map<NodeId, uint64_t> counts;
+  counts.reserve(num_samples);
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    ++counts[labels[rng.GetBounded(i, labels.size())]];
+  }
+  for (const auto& [label, count] : counts) {
+    if (count > result.count ||
+        (count == result.count && label < result.label)) {
+      result.count = count;
+      result.label = label;
+    }
+  }
+  return result;
+}
+
+}  // namespace connectit

@@ -1,0 +1,98 @@
+// Framework-level option types: sampling schemes and their parameters
+// (paper §3.2, Appendix C.4).
+
+#ifndef CONNECTIT_CORE_OPTIONS_H_
+#define CONNECTIT_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace connectit {
+
+enum class SamplingOption {
+  kNone,
+  kKOut,  // k-out edge sampling (Afforest-inspired, §3.2)
+  kBfs,   // direction-optimizing BFS from random sources
+  kLdd,   // one round of low-diameter decomposition
+};
+
+constexpr std::string_view ToString(SamplingOption s) {
+  switch (s) {
+    case SamplingOption::kNone: return "NoSampling";
+    case SamplingOption::kKOut: return "KOutSampling";
+    case SamplingOption::kBfs: return "BFSSampling";
+    case SamplingOption::kLdd: return "LDDSampling";
+  }
+  return "?";
+}
+
+// Edge-selection rule for k-out sampling (paper Appendix C.4).
+enum class KOutVariant {
+  kAfforest,  // first k edges of each vertex (Sutton et al.)
+  kPure,      // k uniformly random edges (Holm et al.)
+  kHybrid,    // first edge + k-1 random (this paper's default)
+  kMaxDegree, // highest-degree neighbor + k-1 random (this paper)
+};
+
+constexpr std::string_view ToString(KOutVariant v) {
+  switch (v) {
+    case KOutVariant::kAfforest: return "kout-afforest";
+    case KOutVariant::kPure: return "kout-pure";
+    case KOutVariant::kHybrid: return "kout-hybrid";
+    case KOutVariant::kMaxDegree: return "kout-maxdeg";
+  }
+  return "?";
+}
+
+struct KOutOptions {
+  KOutVariant variant = KOutVariant::kHybrid;
+  uint32_t k = 2;
+  uint64_t seed = 1;
+};
+
+struct BfsSampleOptions {
+  // Maximum number of random-source attempts (paper uses c = 3).
+  uint32_t max_tries = 3;
+  // Stop as soon as a component covering this fraction of vertices is
+  // found (paper uses 10%).
+  double coverage_threshold = 0.10;
+  uint64_t seed = 1;
+};
+
+struct LddSampleOptions {
+  double beta = 0.2;
+  bool permute = false;  // paper's default configuration uses the natural order
+  uint64_t seed = 1;
+};
+
+// Full sampling configuration for one framework run.
+struct SamplingConfig {
+  SamplingOption option = SamplingOption::kNone;
+  KOutOptions kout;
+  BfsSampleOptions bfs;
+  LddSampleOptions ldd;
+
+  static SamplingConfig None() { return {}; }
+  static SamplingConfig KOut(KOutOptions o = {}) {
+    SamplingConfig c;
+    c.option = SamplingOption::kKOut;
+    c.kout = o;
+    return c;
+  }
+  static SamplingConfig Bfs(BfsSampleOptions o = {}) {
+    SamplingConfig c;
+    c.option = SamplingOption::kBfs;
+    c.bfs = o;
+    return c;
+  }
+  static SamplingConfig Ldd(LddSampleOptions o = {}) {
+    SamplingConfig c;
+    c.option = SamplingOption::kLdd;
+    c.ldd = o;
+    return c;
+  }
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_CORE_OPTIONS_H_

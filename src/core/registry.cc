@@ -1,0 +1,245 @@
+#include "src/core/registry.h"
+
+#include <mutex>
+
+namespace connectit {
+
+namespace {
+
+// ---- union-find registration ----
+
+template <UniteOption kU, FindOption kF, SpliceOption kS>
+Variant MakeUfVariant() {
+  Variant v;
+  v.group = std::string(ToString(kU));
+  if constexpr (kS != SpliceOption::kNone) {
+    v.group += ';';
+    v.group += ToString(kS);
+  }
+  v.find_name = std::string(ToString(kF));
+  v.name = std::string(ToString(kU)) + ";" + std::string(ToString(kF));
+  if constexpr (kS != SpliceOption::kNone) {
+    v.name += ";";
+    v.name += ToString(kS);
+  }
+  v.family = AlgorithmFamily::kUnionFind;
+  v.root_based = true;
+  v.supports_streaming = true;
+  using Finish = UnionFindFinish<kU, kF, kS>;
+  v.run = [](const Graph& g, const SamplingConfig& sc) {
+    return RunConnectivity<Finish>(g, sc);
+  };
+  v.run_forest = [](const Graph& g, const SamplingConfig& sc) {
+    return RunSpanningForest<Finish>(g, sc);
+  };
+  v.make_streaming = [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
+    return std::make_unique<UnionFindStreaming<kU, kF, kS>>(n);
+  };
+  return v;
+}
+
+template <LtConnect kC, LtUpdate kU, LtShortcut kS, LtAlter kA>
+Variant MakeLtVariant() {
+  Variant v;
+  const std::string code = LtVariantCode(kC, kU, kS, kA);
+  v.name = "Liu-Tarjan;" + code;
+  v.group = code;
+  v.family = AlgorithmFamily::kLiuTarjan;
+  v.root_based = (kU == LtUpdate::kRootUp);
+  using Finish = LiuTarjanFinish<kC, kU, kS, kA>;
+  v.run = [](const Graph& g, const SamplingConfig& sc) {
+    return RunConnectivity<Finish>(g, sc);
+  };
+  if constexpr (kU == LtUpdate::kRootUp) {
+    v.run_forest = [](const Graph& g, const SamplingConfig& sc) {
+      return RunSpanningForest<Finish>(g, sc);
+    };
+    v.supports_streaming = true;
+    v.make_streaming =
+        [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
+      return std::make_unique<LiuTarjanStreaming<kC, kS, kA>>(n);
+    };
+  }
+  return v;
+}
+
+std::vector<Variant> BuildRegistry() {
+  std::vector<Variant> variants;
+
+  // Union-find: Async / Hooks / Early x 4 find options.
+#define CONNECTIT_UF(U, F)                                             \
+  variants.push_back(                                                  \
+      MakeUfVariant<UniteOption::U, FindOption::F, SpliceOption::kNone>());
+  CONNECTIT_UF(kAsync, kNaive)
+  CONNECTIT_UF(kAsync, kSplit)
+  CONNECTIT_UF(kAsync, kHalve)
+  CONNECTIT_UF(kAsync, kCompress)
+  CONNECTIT_UF(kHooks, kNaive)
+  CONNECTIT_UF(kHooks, kSplit)
+  CONNECTIT_UF(kHooks, kHalve)
+  CONNECTIT_UF(kHooks, kCompress)
+  CONNECTIT_UF(kEarly, kNaive)
+  CONNECTIT_UF(kEarly, kSplit)
+  CONNECTIT_UF(kEarly, kHalve)
+  CONNECTIT_UF(kEarly, kCompress)
+  // JTB: FindNaive ("FindSimple") and two-try splitting.
+  CONNECTIT_UF(kJtb, kNaive)
+  variants.push_back(MakeUfVariant<UniteOption::kJtb,
+                                   FindOption::kTwoTrySplit,
+                                   SpliceOption::kNone>());
+#undef CONNECTIT_UF
+
+  // Rem's algorithms: find x splice, excluding FindCompress+SpliceAtomic.
+#define CONNECTIT_REM(U, F, S)                                        \
+  variants.push_back(                                                 \
+      MakeUfVariant<UniteOption::U, FindOption::F, SpliceOption::S>());
+#define CONNECTIT_REM_ALL(U)            \
+  CONNECTIT_REM(U, kNaive, kSplitOne)   \
+  CONNECTIT_REM(U, kNaive, kHalveOne)   \
+  CONNECTIT_REM(U, kNaive, kSplice)     \
+  CONNECTIT_REM(U, kSplit, kSplitOne)   \
+  CONNECTIT_REM(U, kSplit, kHalveOne)   \
+  CONNECTIT_REM(U, kSplit, kSplice)     \
+  CONNECTIT_REM(U, kHalve, kSplitOne)   \
+  CONNECTIT_REM(U, kHalve, kHalveOne)   \
+  CONNECTIT_REM(U, kHalve, kSplice)     \
+  CONNECTIT_REM(U, kCompress, kSplitOne)\
+  CONNECTIT_REM(U, kCompress, kHalveOne)
+  CONNECTIT_REM_ALL(kRemCas)
+  CONNECTIT_REM_ALL(kRemLock)
+#undef CONNECTIT_REM_ALL
+#undef CONNECTIT_REM
+
+  // Shiloach-Vishkin.
+  {
+    Variant v;
+    v.name = "Shiloach-Vishkin";
+    v.group = "Shiloach-Vishkin";
+    v.family = AlgorithmFamily::kShiloachVishkin;
+    v.root_based = true;
+    v.supports_streaming = true;
+    v.run = [](const Graph& g, const SamplingConfig& sc) {
+      return RunConnectivity<ShiloachVishkinFinish>(g, sc);
+    };
+    v.run_forest = [](const Graph& g, const SamplingConfig& sc) {
+      return RunSpanningForest<ShiloachVishkinFinish>(g, sc);
+    };
+    v.make_streaming =
+        [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
+      return std::make_unique<ShiloachVishkinStreaming>(n);
+    };
+    variants.push_back(std::move(v));
+  }
+
+  // The 16 Liu-Tarjan variants of Appendix D.
+#define CONNECTIT_LT(C, U, S, A)                                   \
+  variants.push_back(MakeLtVariant<LtConnect::C, LtUpdate::U,      \
+                                   LtShortcut::S, LtAlter::A>());
+  CONNECTIT_LT(kConnect, kUpdate, kShortcut, kAlter)             // CUSA
+  CONNECTIT_LT(kConnect, kRootUp, kShortcut, kAlter)             // CRSA
+  CONNECTIT_LT(kParentConnect, kUpdate, kShortcut, kAlter)       // PUSA
+  CONNECTIT_LT(kParentConnect, kRootUp, kShortcut, kAlter)       // PRSA
+  CONNECTIT_LT(kParentConnect, kUpdate, kShortcut, kNoAlter)     // PUS
+  CONNECTIT_LT(kParentConnect, kRootUp, kShortcut, kNoAlter)     // PRS
+  CONNECTIT_LT(kExtendedConnect, kUpdate, kShortcut, kAlter)     // EUSA
+  CONNECTIT_LT(kExtendedConnect, kUpdate, kShortcut, kNoAlter)   // EUS
+  CONNECTIT_LT(kConnect, kUpdate, kFullShortcut, kAlter)         // CUFA
+  CONNECTIT_LT(kConnect, kRootUp, kFullShortcut, kAlter)         // CRFA
+  CONNECTIT_LT(kParentConnect, kUpdate, kFullShortcut, kAlter)   // PUFA
+  CONNECTIT_LT(kParentConnect, kRootUp, kFullShortcut, kAlter)   // PRFA
+  CONNECTIT_LT(kParentConnect, kUpdate, kFullShortcut, kNoAlter) // PUF
+  CONNECTIT_LT(kParentConnect, kRootUp, kFullShortcut, kNoAlter) // PRF
+  CONNECTIT_LT(kExtendedConnect, kUpdate, kFullShortcut, kAlter) // EUFA
+  CONNECTIT_LT(kExtendedConnect, kUpdate, kFullShortcut, kNoAlter) // EUF
+#undef CONNECTIT_LT
+
+  // Stergiou.
+  {
+    Variant v;
+    v.name = "Stergiou";
+    v.group = "Stergiou";
+    v.family = AlgorithmFamily::kStergiou;
+    v.run = [](const Graph& g, const SamplingConfig& sc) {
+      return RunConnectivity<StergiouFinish>(g, sc);
+    };
+    variants.push_back(std::move(v));
+  }
+
+  // Label-Propagation.
+  {
+    Variant v;
+    v.name = "Label-Propagation";
+    v.group = "Label-Propagation";
+    v.family = AlgorithmFamily::kLabelPropagation;
+    v.run = [](const Graph& g, const SamplingConfig& sc) {
+      return RunConnectivity<LabelPropFinish>(g, sc);
+    };
+    variants.push_back(std::move(v));
+  }
+
+  return variants;
+}
+
+}  // namespace
+
+const std::vector<Variant>& AllVariants() {
+  static const std::vector<Variant>* variants =
+      new std::vector<Variant>(BuildRegistry());
+  return *variants;
+}
+
+const Variant* FindVariant(std::string_view name) {
+  for (const Variant& v : AllVariants()) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<const Variant*> VariantsOfFamily(AlgorithmFamily family) {
+  std::vector<const Variant*> out;
+  for (const Variant& v : AllVariants()) {
+    if (v.family == family) out.push_back(&v);
+  }
+  return out;
+}
+
+std::vector<const Variant*> RootBasedVariants() {
+  std::vector<const Variant*> out;
+  for (const Variant& v : AllVariants()) {
+    if (v.root_based) out.push_back(&v);
+  }
+  return out;
+}
+
+std::vector<const Variant*> StreamingVariants() {
+  std::vector<const Variant*> out;
+  for (const Variant& v : AllVariants()) {
+    if (v.supports_streaming) out.push_back(&v);
+  }
+  return out;
+}
+
+std::vector<AlgorithmRow> PaperAlgorithmRows() {
+  const std::vector<std::string> rows = {
+      "Union-Early",   "Union-Hooks",      "Union-Async",
+      "Union-Rem-CAS", "Union-Rem-Lock",   "Union-JTB",
+      "Liu-Tarjan",    "Shiloach-Vishkin", "Label-Propagation",
+      "Stergiou",
+  };
+  std::vector<AlgorithmRow> out;
+  for (const std::string& row : rows) {
+    AlgorithmRow entry;
+    entry.name = row;
+    for (const Variant& v : AllVariants()) {
+      const bool match =
+          (row == "Liu-Tarjan")
+              ? v.family == AlgorithmFamily::kLiuTarjan
+              : v.name.rfind(row, 0) == 0;  // prefix match on unite name
+      if (match) entry.variants.push_back(&v);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace connectit

@@ -1,0 +1,84 @@
+// Runtime registry of every algorithm variant instantiated by this build.
+//
+// The compile-time framework (connectit.h) produces hundreds of distinct
+// algorithm combinations; the registry exposes each as a named, uniformly
+// callable entry so that tests can sweep the full space and benches can
+// reproduce the paper's per-variant tables and heatmaps.
+//
+// Naming scheme:
+//   "Union-Rem-CAS;FindNaive;SplitAtomicOne"   (union-find: unite;find[;splice])
+//   "Union-JTB;FindTwoTrySplit"
+//   "Shiloach-Vishkin"
+//   "Liu-Tarjan;PRF"                           (Appendix D variant codes)
+//   "Stergiou"  "Label-Propagation"
+// Sampling is orthogonal: pass any SamplingConfig to run/run_forest.
+
+#ifndef CONNECTIT_CORE_REGISTRY_H_
+#define CONNECTIT_CORE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/connectit.h"
+#include "src/core/options.h"
+#include "src/core/streaming.h"
+#include "src/graph/csr.h"
+#include "src/unionfind/options.h"
+
+namespace connectit {
+
+enum class AlgorithmFamily {
+  kUnionFind,
+  kShiloachVishkin,
+  kLiuTarjan,
+  kStergiou,
+  kLabelPropagation,
+};
+
+struct Variant {
+  std::string name;
+  // Axis labels for the paper's heatmaps: e.g. group "Union-Rem-CAS;Splice",
+  // find "FindNaive".
+  std::string group;
+  std::string find_name;
+  AlgorithmFamily family = AlgorithmFamily::kUnionFind;
+  bool root_based = false;
+  bool supports_streaming = false;
+
+  std::function<std::vector<NodeId>(const Graph&, const SamplingConfig&)> run;
+  // Null unless root_based.
+  std::function<SpanningForestResult(const Graph&, const SamplingConfig&)>
+      run_forest;
+  // Null unless supports_streaming.
+  std::function<std::unique_ptr<StreamingConnectivity>(NodeId)>
+      make_streaming;
+};
+
+// All registered variants (built once, in deterministic order).
+const std::vector<Variant>& AllVariants();
+
+// Looks up a variant by exact name; nullptr if absent.
+const Variant* FindVariant(std::string_view name);
+
+// Subsets used by benches and tests.
+std::vector<const Variant*> VariantsOfFamily(AlgorithmFamily family);
+std::vector<const Variant*> RootBasedVariants();
+std::vector<const Variant*> StreamingVariants();
+
+// One representative per paper "algorithm row" (Table 3 / Table 4 rows):
+// Union-Async, Union-Hooks, Union-Early, Union-Rem-CAS, Union-Rem-Lock,
+// Union-JTB, Shiloach-Vishkin, Liu-Tarjan, Stergiou, Label-Propagation.
+// Each entry lists the variants belonging to the row (the benches report
+// the fastest within the row, as the paper does).
+struct AlgorithmRow {
+  std::string name;
+  std::vector<const Variant*> variants;
+};
+std::vector<AlgorithmRow> PaperAlgorithmRows();
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_CORE_REGISTRY_H_

@@ -1,0 +1,79 @@
+#include "src/core/sampling.h"
+
+#include <atomic>
+
+#include "src/parallel/atomics.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+void KOutSample(const Graph& graph, const KOutOptions& options,
+                std::vector<NodeId>& labels) {
+  KOutSampleT(graph, options, labels);
+}
+
+void KOutSampleForest(const Graph& graph, const KOutOptions& options,
+                      std::vector<NodeId>& labels, std::vector<Edge>& slots) {
+  internal_sampling::KOutSampleImpl<true>(graph, options, labels, &slots);
+}
+
+void BfsSample(const Graph& graph, const BfsSampleOptions& options,
+               std::vector<NodeId>& labels) {
+  BfsSampleT(graph, options, labels);
+}
+
+void BfsSampleForest(const Graph& graph, const BfsSampleOptions& options,
+                     std::vector<NodeId>& labels, std::vector<Edge>& slots) {
+  internal_sampling::BfsSampleImpl<true>(graph, options, labels, &slots);
+}
+
+void LddSample(const Graph& graph, const LddSampleOptions& options,
+               std::vector<NodeId>& labels) {
+  LddSampleT(graph, options, labels);
+}
+
+void LddSampleForest(const Graph& graph, const LddSampleOptions& options,
+                     std::vector<NodeId>& labels, std::vector<Edge>& slots) {
+  internal_sampling::LddSampleImpl<true>(graph, options, labels, &slots);
+}
+
+void RunSampling(const Graph& graph, const SamplingConfig& config,
+                 std::vector<NodeId>& labels) {
+  RunSamplingT(graph, config, labels);
+}
+
+void RunSamplingForest(const Graph& graph, const SamplingConfig& config,
+                       std::vector<NodeId>& labels, std::vector<Edge>& slots) {
+  RunSamplingForestT(graph, config, labels, slots);
+}
+
+SamplingQuality MeasureSamplingQuality(const Graph& graph,
+                                       const std::vector<NodeId>& labels) {
+  SamplingQuality q;
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return q;
+  // Coverage: most frequent cluster size over n.
+  std::vector<NodeId> counts(n, 0);
+  ParallelFor(0, n, [&](size_t v) { FetchAdd<NodeId>(&counts[labels[v]], 1); });
+  NodeId best = 0;
+  NodeId clusters = 0;
+  for (NodeId c = 0; c < n; ++c) {
+    if (counts[c] > 0) ++clusters;
+    best = std::max(best, counts[c]);
+  }
+  q.coverage = static_cast<double>(best) / static_cast<double>(n);
+  q.num_clusters = clusters;
+  // Inter-component (inter-cluster) arc fraction.
+  std::atomic<EdgeId> inter{0};
+  graph.MapArcs([&](NodeId u, NodeId v) {
+    if (labels[u] != labels[v]) inter.fetch_add(1, std::memory_order_relaxed);
+  });
+  q.intercomponent_fraction =
+      graph.num_arcs() == 0
+          ? 0.0
+          : static_cast<double>(inter.load()) /
+                static_cast<double>(graph.num_arcs());
+  return q;
+}
+
+}  // namespace connectit

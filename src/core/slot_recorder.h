@@ -1,0 +1,55 @@
+// Forest-edge slot recording for min-update algorithms (SV, root-based
+// Liu-Tarjan).
+//
+// Union-find unites hook each root exactly once, so the winning Unite can
+// write the forest slot directly. WriteMin-based algorithms may lower a
+// root's parent several times within a round; the slot must end up holding
+// the edge that produced the *final* parent value. Record() re-checks the
+// parent under a per-vertex spinlock, so the last consistent writer wins.
+
+#ifndef CONNECTIT_CORE_SLOT_RECORDER_H_
+#define CONNECTIT_CORE_SLOT_RECORDER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+
+namespace connectit {
+
+class SlotRecorder {
+ public:
+  SlotRecorder(std::vector<Edge>* slots, const NodeId* parents, NodeId n)
+      : slots_(slots), parents_(parents),
+        locks_(std::make_unique<std::atomic<uint8_t>[]>(n)) {
+    for (NodeId i = 0; i < n; ++i) {
+      locks_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Called after a successful WriteMin set parents[x] = value while applying
+  // graph edge `e`. Stores e into slots[x] iff parents[x] still equals
+  // value, making the stored edge consistent with the final hook.
+  void Record(NodeId x, NodeId value, Edge e) {
+    while (locks_[x].exchange(1, std::memory_order_acquire) != 0) {
+    }
+    if (AtomicLoadRelaxed(&parents_[x]) == value) (*slots_)[x] = e;
+    locks_[x].store(0, std::memory_order_release);
+  }
+
+ private:
+  std::vector<Edge>* slots_;
+  const NodeId* parents_;
+  std::unique_ptr<std::atomic<uint8_t>[]> locks_;
+};
+
+// No-op recorder for connectivity-only runs.
+struct NullRecorder {
+  void Record(NodeId, NodeId, Edge) {}
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_CORE_SLOT_RECORDER_H_

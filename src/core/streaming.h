@@ -1,0 +1,195 @@
+// Streaming (parallel batch-incremental) connectivity (paper §3.5,
+// Algorithm 3).
+//
+// Three algorithm types, matching the paper's classification:
+//   Type (i)  — union-find variants without SpliceAtomic: a batch's updates
+//               and queries run fully concurrently (linearizable,
+//               wait-free finds).
+//   Type (ii) — Shiloach-Vishkin and root-based Liu-Tarjan: updates are
+//               processed synchronously (rounds over the batch), queries
+//               are wait-free finds.
+//   Type (iii)— Rem's algorithms with SpliceAtomic: phase-concurrent; the
+//               batch is split into an update phase and a query phase.
+
+#ifndef CONNECTIT_CORE_STREAMING_H_
+#define CONNECTIT_CORE_STREAMING_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/connectit.h"
+#include "src/graph/types.h"
+#include "src/liutarjan/liu_tarjan.h"
+#include "src/parallel/thread_pool.h"
+#include "src/sv/shiloach_vishkin.h"
+#include "src/unionfind/dsu.h"
+
+namespace connectit {
+
+// One streaming connectivity structure over vertices [0, n). Thread-safe
+// only through ProcessBatch (batches are applied one after another).
+class StreamingConnectivity {
+ public:
+  virtual ~StreamingConnectivity() = default;
+
+  // Applies `updates` (edge insertions) and answers `queries` (pairs);
+  // returns one result per query: 1 if the endpoints are connected.
+  virtual std::vector<uint8_t> ProcessBatch(
+      const std::vector<Edge>& updates, const std::vector<Edge>& queries) = 0;
+
+  // Snapshot of the current connectivity labeling (fully compressed copy).
+  virtual std::vector<NodeId> Labels() const = 0;
+
+  virtual NodeId num_nodes() const = 0;
+};
+
+template <UniteOption kUnite, FindOption kFind,
+          SpliceOption kSplice = SpliceOption::kNone>
+class UnionFindStreaming final : public StreamingConnectivity {
+ public:
+  // Phase-concurrent variants (Rem + SpliceAtomic) must separate updates
+  // from queries (Type (iii)); all others interleave them (Type (i)).
+  static constexpr bool kPhaseConcurrent = (kSplice == SpliceOption::kSplice);
+
+  explicit UnionFindStreaming(NodeId n)
+      : labels_(IdentityLabels(n)), dsu_(labels_.data(), n) {}
+
+  std::vector<uint8_t> ProcessBatch(
+      const std::vector<Edge>& updates,
+      const std::vector<Edge>& queries) override {
+    std::vector<uint8_t> results(queries.size());
+    if constexpr (kPhaseConcurrent) {
+      ParallelFor(0, updates.size(), [&](size_t i) {
+        dsu_.Unite(updates[i].u, updates[i].v);
+      });
+      ParallelFor(0, queries.size(), [&](size_t i) {
+        results[i] = dsu_.SameSet(queries[i].u, queries[i].v) ? 1 : 0;
+      });
+    } else {
+      // Fully concurrent mix of unions and finds within the batch.
+      const size_t total = updates.size() + queries.size();
+      ParallelFor(0, total, [&](size_t i) {
+        if (i < updates.size()) {
+          dsu_.Unite(updates[i].u, updates[i].v);
+        } else {
+          const size_t q = i - updates.size();
+          results[q] = dsu_.SameSet(queries[q].u, queries[q].v) ? 1 : 0;
+        }
+      });
+    }
+    return results;
+  }
+
+  std::vector<NodeId> Labels() const override {
+    std::vector<NodeId> out = labels_;
+    FullyCompressParents(out.data(), static_cast<NodeId>(out.size()));
+    return out;
+  }
+
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(labels_.size());
+  }
+
+ private:
+  std::vector<NodeId> labels_;
+  Dsu<kUnite, kFind, kSplice> dsu_;
+};
+
+// Wait-free find over a min-rooted parent forest (used by Type (ii)).
+inline bool SameSetByWalk(const std::vector<NodeId>& parents, NodeId u,
+                          NodeId v) {
+  while (true) {
+    NodeId ru = u;
+    while (true) {
+      const NodeId p = AtomicLoad(&parents[ru]);
+      if (p == ru) break;
+      ru = p;
+    }
+    NodeId rv = v;
+    while (true) {
+      const NodeId p = AtomicLoad(&parents[rv]);
+      if (p == rv) break;
+      rv = p;
+    }
+    if (ru == rv) return true;
+    if (AtomicLoad(&parents[ru]) == ru) return false;
+  }
+}
+
+class ShiloachVishkinStreaming final : public StreamingConnectivity {
+ public:
+  explicit ShiloachVishkinStreaming(NodeId n) : labels_(IdentityLabels(n)) {}
+
+  std::vector<uint8_t> ProcessBatch(
+      const std::vector<Edge>& updates,
+      const std::vector<Edge>& queries) override {
+    if (!updates.empty()) ShiloachVishkin::RunOnEdges(updates, labels_);
+    std::vector<uint8_t> results(queries.size());
+    ParallelFor(0, queries.size(), [&](size_t i) {
+      results[i] = SameSetByWalk(labels_, queries[i].u, queries[i].v) ? 1 : 0;
+    });
+    return results;
+  }
+
+  std::vector<NodeId> Labels() const override {
+    std::vector<NodeId> out = labels_;
+    FullyCompressParents(out.data(), static_cast<NodeId>(out.size()));
+    return out;
+  }
+
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(labels_.size());
+  }
+
+ private:
+  std::vector<NodeId> labels_;
+};
+
+// Root-based Liu-Tarjan variants in the streaming setting (Type (ii)).
+template <LtConnect kConnect, LtShortcut kShortcut, LtAlter kAlter>
+class LiuTarjanStreaming final : public StreamingConnectivity {
+ public:
+  explicit LiuTarjanStreaming(NodeId n) : labels_(IdentityLabels(n)) {}
+
+  std::vector<uint8_t> ProcessBatch(
+      const std::vector<Edge>& updates,
+      const std::vector<Edge>& queries) override {
+    if (!updates.empty()) {
+      // Pre-contract endpoints to their current roots so that RootUp
+      // offers can take effect immediately (the forest may have depth > 1
+      // across batches).
+      std::vector<Edge> edges(updates.size());
+      ParallelFor(0, updates.size(), [&](size_t i) {
+        NodeId ru = updates[i].u;
+        while (labels_[ru] != ru) ru = labels_[ru];
+        NodeId rv = updates[i].v;
+        while (labels_[rv] != rv) rv = labels_[rv];
+        edges[i] = {ru, rv};
+      });
+      LiuTarjan<kConnect, LtUpdate::kRootUp, kShortcut, kAlter> lt;
+      lt.Run(edges, labels_);
+    }
+    std::vector<uint8_t> results(queries.size());
+    ParallelFor(0, queries.size(), [&](size_t i) {
+      results[i] = SameSetByWalk(labels_, queries[i].u, queries[i].v) ? 1 : 0;
+    });
+    return results;
+  }
+
+  std::vector<NodeId> Labels() const override {
+    std::vector<NodeId> out = labels_;
+    FullyCompressParents(out.data(), static_cast<NodeId>(out.size()));
+    return out;
+  }
+
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(labels_.size());
+  }
+
+ private:
+  std::vector<NodeId> labels_;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_CORE_STREAMING_H_

@@ -1,0 +1,118 @@
+#include "src/graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/parallel/atomics.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/random.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+namespace {
+
+// Sorts arcs by (source, target) and removes duplicates / self loops
+// according to options, then builds offsets by counting.
+Graph BuildFromArcs(NodeId n, std::vector<Edge> arcs,
+                    const BuildOptions& options) {
+  ParallelSort(arcs, [](const Edge& a, const Edge& b) {
+    return a.u < b.u || (a.u == b.u && a.v < b.v);
+  });
+  // Filter self loops / duplicates (stable pack over sorted arcs).
+  std::vector<Edge> kept = ParallelPack<Edge>(
+      arcs.size(),
+      [&](size_t i) {
+        const Edge& e = arcs[i];
+        if (options.remove_self_loops && e.u == e.v) return false;
+        if (options.remove_duplicates && i > 0 && arcs[i - 1] == e)
+          return false;
+        return true;
+      },
+      [&](size_t i) { return arcs[i]; });
+  arcs.clear();
+  arcs.shrink_to_fit();
+
+  // kept is sorted by source, so each vertex's arcs are already contiguous;
+  // offsets[v + 1] accumulates v's degree, then an inclusive sum over
+  // offsets[1..n] yields CSR row boundaries.
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  ParallelFor(0, kept.size(), [&](size_t i) {
+    FetchAdd<EdgeId>(&offsets[kept[i].u + 1], 1);
+  });
+  for (size_t v = 1; v <= n; ++v) offsets[v] += offsets[v - 1];
+  std::vector<NodeId> neighbors(kept.size());
+  ParallelFor(0, kept.size(), [&](size_t i) { neighbors[i] = kept[i].v; });
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace
+
+Graph BuildGraph(const EdgeList& edges, const BuildOptions& options) {
+  const NodeId n = edges.num_nodes;
+  std::vector<Edge> arcs;
+  arcs.reserve(edges.size() * (options.symmetrize ? 2 : 1));
+  for (const Edge& e : edges.edges) {
+    assert(e.u < n && e.v < n);
+    arcs.push_back(e);
+    if (options.symmetrize) arcs.push_back({e.v, e.u});
+  }
+  return BuildFromArcs(n, std::move(arcs), options);
+}
+
+Graph BuildGraph(NodeId num_nodes, std::vector<Edge> edges,
+                 const BuildOptions& options) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.edges = std::move(edges);
+  return BuildGraph(list, options);
+}
+
+EdgeList ExtractEdges(const Graph& graph) {
+  EdgeList out;
+  out.num_nodes = graph.num_nodes();
+  const NodeId n = graph.num_nodes();
+  // Count per-vertex forward arcs (v > u), prefix sum, then fill.
+  std::vector<EdgeId> counts(static_cast<size_t>(n) + 1, 0);
+  ParallelFor(0, n, [&](size_t ui) {
+    const NodeId u = static_cast<NodeId>(ui);
+    EdgeId c = 0;
+    for (NodeId v : graph.neighbors(u)) c += (v > u) ? 1 : 0;
+    counts[ui] = c;
+  });
+  const EdgeId total = ScanExclusive(counts.data(), n);
+  out.edges.resize(total);
+  ParallelFor(0, n, [&](size_t ui) {
+    const NodeId u = static_cast<NodeId>(ui);
+    EdgeId pos = counts[ui];
+    for (NodeId v : graph.neighbors(u)) {
+      if (v > u) out.edges[pos++] = {u, v};
+    }
+  });
+  return out;
+}
+
+Graph RelabelGraph(const Graph& graph, const std::vector<NodeId>& perm) {
+  const NodeId n = graph.num_nodes();
+  assert(perm.size() == n);
+  EdgeList edges = ExtractEdges(graph);
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    Edge& e = edges.edges[i];
+    e = {perm[e.u], perm[e.v]};
+  });
+  return BuildGraph(edges);
+}
+
+std::vector<NodeId> RandomPermutation(NodeId n, uint64_t seed) {
+  std::vector<NodeId> perm(n);
+  for (NodeId i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(seed);
+  // Fisher-Yates (sequential; permutation generation is not on hot paths).
+  for (NodeId i = n; i > 1; --i) {
+    const NodeId j = static_cast<NodeId>(rng.GetBounded(i, i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace connectit

@@ -1,0 +1,47 @@
+// Graph construction: edge list -> symmetric CSR.
+//
+// Matches the preprocessing the paper applies to its (originally directed)
+// inputs: symmetrize, drop self-loops, deduplicate parallel edges.
+
+#ifndef CONNECTIT_GRAPH_BUILDER_H_
+#define CONNECTIT_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "src/graph/coo.h"
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+struct BuildOptions {
+  // Insert the reverse arc for every input edge (always wanted for
+  // undirected connectivity; set false only if the input is already
+  // symmetric).
+  bool symmetrize = true;
+  // Drop (u, u) edges.
+  bool remove_self_loops = true;
+  // Collapse parallel edges.
+  bool remove_duplicates = true;
+};
+
+// Builds a CSR graph from an edge list. Runs in parallel.
+Graph BuildGraph(const EdgeList& edges, const BuildOptions& options = {});
+
+// Convenience: builds from a raw initializer-style edge vector.
+Graph BuildGraph(NodeId num_nodes, std::vector<Edge> edges,
+                 const BuildOptions& options = {});
+
+// Extracts all undirected edges {u, v} with u < v as an EdgeList (the COO
+// form used to drive streaming experiments).
+EdgeList ExtractEdges(const Graph& graph);
+
+// Applies the permutation `perm` (new id of vertex v is perm[v]) to the
+// graph, producing the relabeled graph. Used by locality experiments.
+Graph RelabelGraph(const Graph& graph, const std::vector<NodeId>& perm);
+
+// A uniformly random permutation of [0, n) from `seed`.
+std::vector<NodeId> RandomPermutation(NodeId n, uint64_t seed);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_GRAPH_BUILDER_H_

@@ -1,0 +1,71 @@
+#include "src/graph/compressed.h"
+
+#include <cassert>
+
+namespace connectit {
+
+namespace {
+
+void EncodeVarint(uint64_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace
+
+CompressedGraph CompressedGraph::Encode(const Graph& graph) {
+  CompressedGraph cg;
+  cg.num_nodes_ = graph.num_nodes();
+  cg.num_arcs_ = graph.num_arcs();
+  cg.degrees_.resize(cg.num_nodes_);
+  cg.vertex_offsets_.resize(static_cast<size_t>(cg.num_nodes_) + 1);
+
+  // Encoding is sequential: it is a one-time preprocessing step and the
+  // byte stream layout is inherently serial. Decoding is parallel.
+  uint64_t block_count = 0;
+  for (NodeId u = 0; u < cg.num_nodes_; ++u) {
+    cg.vertex_offsets_[u].first_block = block_count;
+    const EdgeId deg = graph.degree(u);
+    cg.degrees_[u] = deg;
+    const auto nbrs = graph.neighbors(u);
+    EdgeId i = 0;
+    while (i < deg) {
+      cg.block_offsets_.push_back(cg.data_.size());
+      ++block_count;
+      const EdgeId hi = std::min<EdgeId>(i + kBlockSize, deg);
+      NodeId prev = 0;
+      for (EdgeId j = i; j < hi; ++j) {
+        const NodeId v = nbrs[j];
+        if (j == i) {
+          const int64_t delta =
+              static_cast<int64_t>(v) - static_cast<int64_t>(u);
+          EncodeVarint(internal::ZigzagEncode(delta), cg.data_);
+        } else {
+          assert(v >= prev);
+          EncodeVarint(v - prev, cg.data_);
+        }
+        prev = v;
+      }
+      i = hi;
+    }
+  }
+  cg.vertex_offsets_[cg.num_nodes_].first_block = block_count;
+  return cg;
+}
+
+Graph CompressedGraph::Decode() const {
+  std::vector<EdgeId> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) offsets[v + 1] = offsets[v] + degrees_[v];
+  std::vector<NodeId> neighbors(num_arcs_);
+  ParallelFor(0, num_nodes_, [&](size_t ui) {
+    const NodeId u = static_cast<NodeId>(ui);
+    EdgeId pos = offsets[u];
+    MapNeighbors(u, [&](NodeId v) { neighbors[pos++] = v; });
+  });
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace connectit

@@ -1,0 +1,197 @@
+// Byte-coded compressed CSR (paper §3.6 "Graph Compression").
+//
+// Neighbor lists are difference-encoded: the first neighbor of each block is
+// encoded relative to the source vertex (sign folded into the low bit), and
+// subsequent neighbors as positive gaps, each written as a variable-length
+// byte code (7 value bits per byte, high bit = continue). To enable parallel
+// decoding within a vertex, adjacency data is split into independent blocks
+// of kBlockSize neighbors, as in Ligra+.
+
+#ifndef CONNECTIT_GRAPH_COMPRESSED_H_
+#define CONNECTIT_GRAPH_COMPRESSED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+class CompressedGraph {
+ public:
+  static constexpr size_t kBlockSize = 128;
+
+  CompressedGraph() = default;
+
+  // Compresses an existing CSR graph (neighbor lists must be sorted, which
+  // BuildGraph guarantees).
+  static CompressedGraph Encode(const Graph& graph);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_arcs() const { return num_arcs_; }
+  EdgeId degree(NodeId v) const { return degrees_[v]; }
+
+  EdgeId num_edges() const { return num_arcs_ / 2; }
+
+  // Invokes fn(v) for every neighbor of u, in order.
+  template <typename F>
+  void MapNeighbors(NodeId u, F&& fn) const;
+
+  // As MapNeighbors, but stops early when fn returns false.
+  template <typename F>
+  void MapNeighborsWhile(NodeId u, F&& fn) const;
+
+  // Random access to the i-th neighbor of u: decodes the containing block
+  // (O(kBlockSize) work), giving the compressed format the same interface
+  // the framework's samplers need.
+  NodeId NeighborAt(NodeId u, EdgeId i) const;
+
+  // Invokes fn(u, v) for every directed arc, parallel over vertices and
+  // over blocks of high-degree vertices.
+  template <typename F>
+  void MapArcs(F&& fn) const;
+
+  // As MapArcs but only for sources where pred(u) is true — skipped
+  // vertices' adjacency bytes are never decoded.
+  template <typename F, typename Pred>
+  void MapArcsIf(Pred&& pred, F&& fn) const;
+
+  // Decompresses back to plain CSR (used by round-trip tests).
+  Graph Decode() const;
+
+  // Compressed size in bytes (for the compression-ratio experiment).
+  size_t byte_size() const { return data_.size(); }
+
+ private:
+  struct VertexMeta {
+    uint64_t first_block = 0;  // index into block_offsets_
+  };
+
+  NodeId num_nodes_ = 0;
+  EdgeId num_arcs_ = 0;
+  std::vector<EdgeId> degrees_;            // size n
+  std::vector<VertexMeta> vertex_offsets_; // size n + 1
+  std::vector<uint64_t> block_offsets_;    // byte offset of each block
+  std::vector<uint8_t> data_;
+};
+
+// ---- inline decoding ----
+
+namespace internal {
+
+inline uint64_t DecodeVarint(const uint8_t* data, size_t& pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const uint8_t byte = data[pos++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+// First entry of a block stores (neighbor - source) zigzag-encoded.
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+}  // namespace internal
+
+template <typename F>
+void CompressedGraph::MapNeighbors(NodeId u, F&& fn) const {
+  const uint64_t block_begin = vertex_offsets_[u].first_block;
+  const uint64_t block_end = vertex_offsets_[u + 1].first_block;
+  const EdgeId deg = degrees_[u];
+  for (uint64_t b = block_begin; b < block_end; ++b) {
+    size_t pos = block_offsets_[b];
+    const EdgeId in_block =
+        std::min<EdgeId>(kBlockSize, deg - (b - block_begin) * kBlockSize);
+    NodeId prev = 0;
+    for (EdgeId i = 0; i < in_block; ++i) {
+      if (i == 0) {
+        const int64_t delta =
+            internal::ZigzagDecode(internal::DecodeVarint(data_.data(), pos));
+        prev = static_cast<NodeId>(static_cast<int64_t>(u) + delta);
+      } else {
+        prev += static_cast<NodeId>(internal::DecodeVarint(data_.data(), pos));
+      }
+      fn(prev);
+    }
+  }
+}
+
+template <typename F>
+void CompressedGraph::MapNeighborsWhile(NodeId u, F&& fn) const {
+  const uint64_t block_begin = vertex_offsets_[u].first_block;
+  const uint64_t block_end = vertex_offsets_[u + 1].first_block;
+  const EdgeId deg = degrees_[u];
+  for (uint64_t b = block_begin; b < block_end; ++b) {
+    size_t pos = block_offsets_[b];
+    const EdgeId in_block =
+        std::min<EdgeId>(kBlockSize, deg - (b - block_begin) * kBlockSize);
+    NodeId prev = 0;
+    for (EdgeId i = 0; i < in_block; ++i) {
+      if (i == 0) {
+        const int64_t delta =
+            internal::ZigzagDecode(internal::DecodeVarint(data_.data(), pos));
+        prev = static_cast<NodeId>(static_cast<int64_t>(u) + delta);
+      } else {
+        prev += static_cast<NodeId>(internal::DecodeVarint(data_.data(), pos));
+      }
+      if (!fn(prev)) return;
+    }
+  }
+}
+
+inline NodeId CompressedGraph::NeighborAt(NodeId u, EdgeId i) const {
+  const uint64_t block = vertex_offsets_[u].first_block + i / kBlockSize;
+  size_t pos = block_offsets_[block];
+  const EdgeId in_block = i % kBlockSize;
+  NodeId value = 0;
+  for (EdgeId j = 0; j <= in_block; ++j) {
+    if (j == 0) {
+      const int64_t delta =
+          internal::ZigzagDecode(internal::DecodeVarint(data_.data(), pos));
+      value = static_cast<NodeId>(static_cast<int64_t>(u) + delta);
+    } else {
+      value += static_cast<NodeId>(internal::DecodeVarint(data_.data(), pos));
+    }
+  }
+  return value;
+}
+
+template <typename F>
+void CompressedGraph::MapArcs(F&& fn) const {
+  ParallelFor(
+      0, num_nodes_,
+      [&](size_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        MapNeighbors(u, [&](NodeId v) { fn(u, v); });
+      },
+      /*grain=*/64);
+}
+
+template <typename F, typename Pred>
+void CompressedGraph::MapArcsIf(Pred&& pred, F&& fn) const {
+  ParallelFor(
+      0, num_nodes_,
+      [&](size_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        if (!pred(u)) return;
+        MapNeighbors(u, [&](NodeId v) { fn(u, v); });
+      },
+      /*grain=*/64);
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_GRAPH_COMPRESSED_H_

@@ -1,0 +1,25 @@
+// Edge list (COO) representation: the input format for graph construction
+// and the batch format for the streaming algorithms (paper §2, §3.5).
+
+#ifndef CONNECTIT_GRAPH_COO_H_
+#define CONNECTIT_GRAPH_COO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace connectit {
+
+// A batch of undirected edges over vertices [0, num_nodes).
+struct EdgeList {
+  NodeId num_nodes = 0;
+  std::vector<Edge> edges;
+
+  size_t size() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_GRAPH_COO_H_

@@ -1,0 +1,27 @@
+#include "src/graph/csr.h"
+
+#include <cassert>
+
+#include "src/parallel/primitives.h"
+
+namespace connectit {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  assert(!offsets_.empty());
+  assert(offsets_.back() == neighbors_.size());
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return stats;
+  stats.max_degree = ParallelReduce<EdgeId>(
+      0, n, 0, [&](size_t v) { return graph.degree(static_cast<NodeId>(v)); },
+      [](EdgeId a, EdgeId b) { return a > b ? a : b; });
+  stats.avg_degree =
+      static_cast<double>(graph.num_arcs()) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace connectit

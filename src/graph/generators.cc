@@ -1,0 +1,205 @@
+#include "src/graph/generators.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/parallel/random.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+namespace {
+
+// Draws one RMAT edge by descending log2(n) levels of the recursive matrix.
+Edge RmatEdge(NodeId scale_bits, const Rng& rng, uint64_t index, double a,
+              double ab, double abc) {
+  NodeId u = 0;
+  NodeId v = 0;
+  for (NodeId bit = 0; bit < scale_bits; ++bit) {
+    const double r = rng.GetDouble(index * 64 + bit);
+    if (r < a) {
+      // quadrant (0, 0)
+    } else if (r < ab) {
+      v |= (NodeId{1} << bit);
+    } else if (r < abc) {
+      u |= (NodeId{1} << bit);
+    } else {
+      u |= (NodeId{1} << bit);
+      v |= (NodeId{1} << bit);
+    }
+  }
+  return {u, v};
+}
+
+NodeId CeilLog2(NodeId n) {
+  NodeId bits = 0;
+  while ((NodeId{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+EdgeList GenerateRmatEdges(NodeId num_nodes, EdgeId num_edges, uint64_t seed,
+                           double a, double b, double c) {
+  assert(a + b + c <= 1.0);
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  if (num_nodes < 2) return list;
+  const NodeId bits = CeilLog2(num_nodes);
+  const double ab = a + b;
+  const double abc = a + b + c;
+  Rng rng(seed);
+  list.edges.resize(num_edges);
+  ParallelFor(0, num_edges, [&](size_t i) {
+    Edge e = RmatEdge(bits, rng, i, a, ab, abc);
+    // Clamp into range when num_nodes is not a power of two.
+    e.u %= num_nodes;
+    e.v %= num_nodes;
+    list.edges[i] = e;
+  });
+  return list;
+}
+
+Graph GenerateRmat(NodeId num_nodes, EdgeId num_edges, uint64_t seed,
+                   double a, double b, double c) {
+  return BuildGraph(GenerateRmatEdges(num_nodes, num_edges, seed, a, b, c));
+}
+
+EdgeList GenerateBarabasiAlbertEdges(NodeId num_nodes, NodeId edges_per_node,
+                                     uint64_t seed) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  if (num_nodes < 2) return list;
+  Rng rng(seed);
+  // Preferential attachment via the repeated-endpoints trick: each arriving
+  // vertex v picks targets uniformly from the array of all previous edge
+  // endpoints (so probability is proportional to degree). Sequential by
+  // nature; the generator is offline setup code.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_nodes) * edges_per_node * 2);
+  uint64_t draw = 0;
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const NodeId k = std::min<NodeId>(edges_per_node, v);
+    for (NodeId j = 0; j < k; ++j) {
+      NodeId target;
+      if (endpoints.empty()) {
+        target = 0;
+      } else {
+        target = endpoints[rng.GetBounded(draw++, endpoints.size())];
+      }
+      list.edges.push_back({v, target});
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return list;
+}
+
+Graph GenerateBarabasiAlbert(NodeId num_nodes, NodeId edges_per_node,
+                             uint64_t seed) {
+  return BuildGraph(
+      GenerateBarabasiAlbertEdges(num_nodes, edges_per_node, seed));
+}
+
+EdgeList GenerateErdosRenyiEdges(NodeId num_nodes, EdgeId num_edges,
+                                 uint64_t seed) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  if (num_nodes < 2) return list;
+  Rng rng(seed);
+  list.edges.resize(num_edges);
+  ParallelFor(0, num_edges, [&](size_t i) {
+    const NodeId u = static_cast<NodeId>(rng.GetBounded(2 * i, num_nodes));
+    const NodeId v =
+        static_cast<NodeId>(rng.GetBounded(2 * i + 1, num_nodes));
+    list.edges[i] = {u, v};
+  });
+  return list;
+}
+
+Graph GenerateErdosRenyi(NodeId num_nodes, EdgeId num_edges, uint64_t seed) {
+  return BuildGraph(GenerateErdosRenyiEdges(num_nodes, num_edges, seed));
+}
+
+Graph GenerateGrid(NodeId width, NodeId height) {
+  EdgeList list;
+  list.num_nodes = width * height;
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      const NodeId v = y * width + x;
+      if (x + 1 < width) list.edges.push_back({v, v + 1});
+      if (y + 1 < height) list.edges.push_back({v, v + width});
+    }
+  }
+  return BuildGraph(list);
+}
+
+Graph GeneratePath(NodeId num_nodes) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  for (NodeId v = 0; v + 1 < num_nodes; ++v) list.edges.push_back({v, v + 1});
+  return BuildGraph(list);
+}
+
+Graph GenerateCycle(NodeId num_nodes) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  for (NodeId v = 0; v + 1 < num_nodes; ++v) list.edges.push_back({v, v + 1});
+  if (num_nodes > 2) list.edges.push_back({num_nodes - 1, 0});
+  return BuildGraph(list);
+}
+
+Graph GenerateStar(NodeId num_nodes) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  for (NodeId v = 1; v < num_nodes; ++v) list.edges.push_back({0, v});
+  return BuildGraph(list);
+}
+
+Graph GenerateComplete(NodeId num_nodes) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < num_nodes; ++v) list.edges.push_back({u, v});
+  }
+  return BuildGraph(list);
+}
+
+Graph GenerateComponentMixture(NodeId num_nodes, NodeId num_components,
+                               uint64_t seed, NodeId edges_per_vertex) {
+  assert(num_components >= 1);
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  Rng rng(seed);
+  // Half the vertices go to one massive component; the rest are split into
+  // geometrically shrinking blobs, leaving a tail of isolated vertices.
+  NodeId offset = 0;
+  NodeId remaining = num_nodes;
+  NodeId block = num_nodes / 2;
+  for (NodeId comp = 0; comp < num_components && block >= 2; ++comp) {
+    const NodeId n_c = std::min(block, remaining);
+    if (n_c < 2) break;
+    // Sparse random blob: 4*n_c edges plus a spanning path so the blob is
+    // actually connected.
+    Rng comp_rng = rng.Split(comp);
+    for (NodeId v = 0; v + 1 < n_c; ++v) {
+      list.edges.push_back({offset + v, offset + v + 1});
+    }
+    const EdgeId extra =
+        static_cast<EdgeId>(n_c) *
+        (edges_per_vertex > 1 ? edges_per_vertex - 1 : 1);
+    for (EdgeId i = 0; i < extra; ++i) {
+      const NodeId u = static_cast<NodeId>(comp_rng.GetBounded(2 * i, n_c));
+      const NodeId v =
+          static_cast<NodeId>(comp_rng.GetBounded(2 * i + 1, n_c));
+      list.edges.push_back({offset + u, offset + v});
+    }
+    offset += n_c;
+    remaining -= n_c;
+    block = std::max<NodeId>(2, block / 2);
+  }
+  return BuildGraph(list);
+}
+
+}  // namespace connectit

@@ -1,0 +1,103 @@
+#include "src/graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace connectit {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x434f4e4e45435431ULL;  // "CONNECT1"
+
+}  // namespace
+
+EdgeList ParseEdgeListText(const std::string& text, bool compact_ids) {
+  EdgeList list;
+  std::istringstream in(text);
+  std::string line;
+  std::unordered_map<uint64_t, NodeId> remap;
+  uint64_t max_id = 0;
+  bool saw_edge = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!(ls >> a >> b)) continue;
+    if (compact_ids) {
+      auto [ita, _a] = remap.try_emplace(a, static_cast<NodeId>(remap.size()));
+      auto [itb, _b] = remap.try_emplace(b, static_cast<NodeId>(remap.size()));
+      list.edges.push_back({ita->second, itb->second});
+    } else {
+      list.edges.push_back({static_cast<NodeId>(a), static_cast<NodeId>(b)});
+      max_id = std::max({max_id, a, b});
+    }
+    saw_edge = true;
+  }
+  if (compact_ids) {
+    list.num_nodes = static_cast<NodeId>(remap.size());
+  } else {
+    list.num_nodes = saw_edge ? static_cast<NodeId>(max_id + 1) : 0;
+  }
+  return list;
+}
+
+bool ReadEdgeListFile(const std::string& path, EdgeList* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = ParseEdgeListText(buf.str());
+  return true;
+}
+
+bool WriteEdgeListFile(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# connectit edge list: " << edges.num_nodes << " nodes, "
+      << edges.size() << " edges\n";
+  for (const Edge& e : edges.edges) out << e.u << ' ' << e.v << '\n';
+  return static_cast<bool>(out);
+}
+
+bool WriteGraphBinary(const std::string& path, const Graph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const uint64_t magic = kBinaryMagic;
+  const uint64_t n = graph.num_nodes();
+  const uint64_t arcs = graph.num_arcs();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
+  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(graph.neighbor_array().data()),
+            static_cast<std::streamsize>(arcs * sizeof(NodeId)));
+  return static_cast<bool>(out);
+}
+
+bool ReadGraphBinary(const std::string& path, Graph* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  uint64_t arcs = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kBinaryMagic) return false;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<NodeId> neighbors(arcs);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(arcs * sizeof(NodeId)));
+  if (!in) return false;
+  *out = Graph(std::move(offsets), std::move(neighbors));
+  return true;
+}
+
+}  // namespace connectit

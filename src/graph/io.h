@@ -1,0 +1,33 @@
+// Graph I/O: a plain-text edge-list format and a binary CSR snapshot.
+//
+// Text format ("<u> <v>" per line, '#' comments, first non-comment line may
+// be "<n> <m>") matches common public dataset dumps (SNAP-style). The binary
+// format is a versioned little-endian dump of the CSR arrays for fast
+// reload.
+
+#ifndef CONNECTIT_GRAPH_IO_H_
+#define CONNECTIT_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/coo.h"
+#include "src/graph/csr.h"
+
+namespace connectit {
+
+// Parses a SNAP-style edge list from `text`. Vertices are remapped densely
+// if `compact_ids` is true; otherwise ids are used verbatim and num_nodes is
+// max id + 1.
+EdgeList ParseEdgeListText(const std::string& text, bool compact_ids = false);
+
+// Reads/writes the text format from disk. Returns false on I/O failure.
+bool ReadEdgeListFile(const std::string& path, EdgeList* out);
+bool WriteEdgeListFile(const std::string& path, const EdgeList& edges);
+
+// Binary CSR snapshot.
+bool WriteGraphBinary(const std::string& path, const Graph& graph);
+bool ReadGraphBinary(const std::string& path, Graph* out);
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_GRAPH_IO_H_

@@ -1,0 +1,32 @@
+// Fundamental graph typedefs shared across the library.
+
+#ifndef CONNECTIT_GRAPH_TYPES_H_
+#define CONNECTIT_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace connectit {
+
+// Vertex identifier. 32 bits covers every graph this build targets; the
+// reference system uses the same width for its in-memory label arrays.
+using NodeId = uint32_t;
+
+// Edge offset/count type (graphs may have > 4B edges in principle).
+using EdgeId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// An undirected edge as an endpoint pair (COO entry).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_GRAPH_TYPES_H_

@@ -1,0 +1,79 @@
+// Folklore label propagation (paper §B.2.6): frontier-driven min-label
+// spreading, the algorithm implemented by Pregel/Giraph-style systems.
+
+#ifndef CONNECTIT_LIUTARJAN_LABEL_PROP_H_
+#define CONNECTIT_LIUTARJAN_LABEL_PROP_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/thread_pool.h"
+#include "src/stats/counters.h"
+
+namespace connectit {
+
+class LabelPropagation {
+ public:
+  // Runs label propagation on `graph` starting from `parents` (any valid
+  // partial labeling with parents[v] <= v). `active` seeds the initial
+  // frontier; pass all vertices when unsampled, or the vertices outside the
+  // frequent component when composed with sampling (vertices whose label
+  // later drops re-enter the frontier automatically). Returns rounds.
+  template <typename GraphT>
+  NodeId Run(const GraphT& graph, std::vector<NodeId>& parents,
+             std::vector<uint8_t> active) {
+    const NodeId n = graph.num_nodes();
+    NodeId rounds = 0;
+    std::vector<uint8_t> next(n, 0);
+    bool any = true;
+    while (any) {
+      ++rounds;
+      stats::RecordRound();
+      std::atomic<bool> changed{false};
+      ParallelFor(
+          0, n,
+          [&](size_t ui) {
+            const NodeId u = static_cast<NodeId>(ui);
+            if (!active[u]) return;
+            // Edge application updates both endpoints (Definition B.1):
+            // push u's label to smaller-labeled neighbors and pull the
+            // smallest neighbor label back into u. The pull direction is
+            // what lets the frequent component's label spread even though
+            // its vertices are never sources.
+            const NodeId label = AtomicLoadRelaxed(&parents[u]);
+            stats::RecordParentReads(1);
+            NodeId best = label;
+            graph.MapNeighbors(u, [&](NodeId v) {
+              const NodeId lv = AtomicLoadRelaxed(&parents[v]);
+              stats::RecordParentReads(1);
+              if (label < lv) {
+                if (WriteMin(&parents[v], label)) {
+                  stats::RecordParentWrites(1);
+                  AtomicStore<uint8_t>(&next[v], 1);
+                  changed.store(true, std::memory_order_relaxed);
+                }
+              } else if (lv < best) {
+                best = lv;
+              }
+            });
+            if (best < label && WriteMin(&parents[u], best)) {
+              stats::RecordParentWrites(1);
+              AtomicStore<uint8_t>(&next[u], 1);
+              changed.store(true, std::memory_order_relaxed);
+            }
+          },
+          /*grain=*/64);
+      any = changed.load(std::memory_order_relaxed);
+      std::swap(active, next);
+      ParallelFor(0, n, [&](size_t v) { next[v] = 0; });
+    }
+    return rounds;
+  }
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_LIUTARJAN_LABEL_PROP_H_

@@ -1,0 +1,189 @@
+// The Liu-Tarjan concurrent-labeling framework (paper §3.3.2, Appendix D).
+//
+// An algorithm in the framework repeatedly processes an edge array in
+// synchronous rounds. Each round runs a connect phase (one of Connect /
+// ParentConnect / ExtendedConnect, optionally restricted to updating
+// round-start roots: RootUp), a shortcut phase (one pointer jump, or
+// repeated jumps: FullShortcut), and optionally an alter phase that rewrites
+// each edge to the current labels of its endpoints. Parent updates are
+// min-updates: a parent only ever decreases.
+//
+// The 16 named variants of the paper's Appendix D are spanned by
+// LiuTarjan<connect, update, shortcut, alter>. Note Connect-based variants
+// require Alter for correctness (Liu & Tarjan), which the variant list
+// respects. RootUp variants are root-based and additionally support
+// spanning forest via RunForest.
+
+#ifndef CONNECTIT_LIUTARJAN_LIU_TARJAN_H_
+#define CONNECTIT_LIUTARJAN_LIU_TARJAN_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/core/slot_recorder.h"
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/primitives.h"
+#include "src/parallel/thread_pool.h"
+#include "src/stats/counters.h"
+
+namespace connectit {
+
+enum class LtConnect { kConnect, kParentConnect, kExtendedConnect };
+enum class LtUpdate { kUpdate, kRootUp };
+enum class LtShortcut { kShortcut, kFullShortcut };
+enum class LtAlter { kNoAlter, kAlter };
+
+// Short code in the paper's naming scheme, e.g. "CRFA" = Connect + RootUp +
+// FullShortcut + Alter, "PUS" = ParentConnect + Update + Shortcut.
+inline std::string LtVariantCode(LtConnect c, LtUpdate u, LtShortcut s,
+                                 LtAlter a) {
+  std::string code;
+  code += (c == LtConnect::kConnect)         ? 'C'
+          : (c == LtConnect::kParentConnect) ? 'P'
+                                             : 'E';
+  code += (u == LtUpdate::kUpdate) ? 'U' : 'R';
+  code += (s == LtShortcut::kShortcut) ? 'S' : 'F';
+  if (a == LtAlter::kAlter) code += 'A';
+  return code;
+}
+
+template <LtConnect kConnect, LtUpdate kUpdate, LtShortcut kShortcut,
+          LtAlter kAlter>
+class LiuTarjan {
+ public:
+  static constexpr bool kRootBased = (kUpdate == LtUpdate::kRootUp);
+
+  // Runs rounds on `edges` until the parent array stops changing. `edges`
+  // is consumed (Alter variants rewrite and compact it). Returns the number
+  // of rounds executed.
+  NodeId Run(std::vector<Edge>& edges, std::vector<NodeId>& parents) {
+    NullRecorder recorder;
+    std::vector<Edge> originals;  // unused
+    return RunImpl<false>(edges, originals, parents, recorder);
+  }
+
+  // As Run, but records the underlying graph edge (originals[i], aligned
+  // with edges[i]) responsible for each root hook into the recorder
+  // (spanning forest; root-based variants only).
+  template <typename Recorder>
+  NodeId RunForest(std::vector<Edge> edges, std::vector<Edge> originals,
+                   std::vector<NodeId>& parents, Recorder& recorder) {
+    static_assert(kRootBased,
+                  "spanning forest requires a RootUp (root-based) variant");
+    return RunImpl<true>(edges, originals, parents, recorder);
+  }
+
+ private:
+  template <bool kTrackOriginals, typename Recorder>
+  NodeId RunImpl(std::vector<Edge>& edges, std::vector<Edge>& originals,
+                 std::vector<NodeId>& parents, Recorder& recorder) {
+    const size_t n = parents.size();
+    std::vector<NodeId> previous(n);
+    NodeId rounds = 0;
+    while (true) {
+      ++rounds;
+      stats::RecordRound();
+      ParallelFor(0, n, [&](size_t v) { previous[v] = parents[v]; });
+      std::atomic<bool> changed{false};
+      // Connect phase.
+      ParallelFor(0, edges.size(), [&](size_t i) {
+        const Edge e = edges[i];
+        if (e.u == e.v) return;
+        const Edge orig = kTrackOriginals ? originals[i] : e;
+        if (ApplyConnect(e, orig, previous.data(), parents.data(),
+                         recorder)) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      });
+      // Shortcut phase.
+      if (RunShortcut(parents)) changed.store(true, std::memory_order_relaxed);
+      // Alter phase: rewrite edges to current labels and drop self-loops.
+      if constexpr (kAlter == LtAlter::kAlter) {
+        ParallelFor(0, edges.size(), [&](size_t i) {
+          Edge& e = edges[i];
+          e = {parents[e.u], parents[e.v]};
+        });
+        auto keep = [&](size_t i) { return edges[i].u != edges[i].v; };
+        if constexpr (kTrackOriginals) {
+          originals = ParallelPack<Edge>(edges.size(), keep,
+                                         [&](size_t i) { return originals[i]; });
+        }
+        edges = ParallelPack<Edge>(edges.size(), keep,
+                                   [&](size_t i) { return edges[i]; });
+      }
+      if (!changed.load(std::memory_order_relaxed)) break;
+    }
+    return rounds;
+  }
+
+  // Offers candidate `cand` to vertex `x`; respects the RootUp guard.
+  template <typename Recorder>
+  static bool Offer(NodeId x, NodeId cand, Edge orig, const NodeId* previous,
+                    NodeId* parents, Recorder& recorder) {
+    if constexpr (kUpdate == LtUpdate::kRootUp) {
+      if (previous[x] != x) return false;
+    }
+    if (cand >= AtomicLoadRelaxed(&parents[x])) return false;
+    if (!WriteMin(&parents[x], cand)) return false;
+    stats::RecordParentWrites(1);
+    recorder.Record(x, cand, orig);
+    return true;
+  }
+
+  template <typename Recorder>
+  static bool ApplyConnect(Edge e, Edge orig, const NodeId* previous,
+                           NodeId* parents, Recorder& recorder) {
+    bool changed = false;
+    stats::RecordParentReads(2);
+    if constexpr (kConnect == LtConnect::kConnect) {
+      // Candidates are the endpoints themselves. Correct only together
+      // with Alter, which moves endpoints to their labels between rounds.
+      changed |= Offer(e.u, e.v, orig, previous, parents, recorder);
+      changed |= Offer(e.v, e.u, orig, previous, parents, recorder);
+    } else if constexpr (kConnect == LtConnect::kParentConnect) {
+      // Candidates are the endpoint parents, offered to the parents: this
+      // is what lets non-Alter variants reach tree roots.
+      const NodeId pu = previous[e.u];
+      const NodeId pv = previous[e.v];
+      changed |= Offer(pu, pv, orig, previous, parents, recorder);
+      changed |= Offer(pv, pu, orig, previous, parents, recorder);
+    } else {  // ExtendedConnect: parents offered to endpoints AND parents.
+      const NodeId pu = previous[e.u];
+      const NodeId pv = previous[e.v];
+      changed |= Offer(e.u, pv, orig, previous, parents, recorder);
+      changed |= Offer(pu, pv, orig, previous, parents, recorder);
+      changed |= Offer(e.v, pu, orig, previous, parents, recorder);
+      changed |= Offer(pv, pu, orig, previous, parents, recorder);
+    }
+    return changed;
+  }
+
+  static bool RunShortcut(std::vector<NodeId>& parents) {
+    bool any = false;
+    while (true) {
+      std::atomic<bool> changed{false};
+      ParallelFor(0, parents.size(), [&](size_t v) {
+        const NodeId p = AtomicLoadRelaxed(&parents[v]);
+        const NodeId gp = AtomicLoadRelaxed(&parents[p]);
+        stats::RecordParentReads(2);
+        if (gp < p) {
+          // Pointer jump; min-update keeps this monotone under races.
+          if (WriteMin(&parents[v], gp)) {
+            changed.store(true, std::memory_order_relaxed);
+            stats::RecordParentWrites(1);
+          }
+        }
+      });
+      any |= changed.load(std::memory_order_relaxed);
+      if constexpr (kShortcut == LtShortcut::kShortcut) break;
+      if (!changed.load(std::memory_order_relaxed)) break;
+    }
+    return any;
+  }
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_LIUTARJAN_LIU_TARJAN_H_

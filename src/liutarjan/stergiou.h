@@ -1,0 +1,68 @@
+// Stergiou et al.'s BSP connectivity algorithm (paper §B.2.5).
+//
+// Equivalent to the Liu-Tarjan PUS variant except that it reads parent
+// candidates from a snapshot of the previous round's parents (two parent
+// arrays), exactly as in the original distributed formulation.
+
+#ifndef CONNECTIT_LIUTARJAN_STERGIOU_H_
+#define CONNECTIT_LIUTARJAN_STERGIOU_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/thread_pool.h"
+#include "src/stats/counters.h"
+
+namespace connectit {
+
+class Stergiou {
+ public:
+  // Runs rounds over `edges` until the parent array stops changing.
+  NodeId Run(std::vector<Edge>& edges, std::vector<NodeId>& parents) {
+    const size_t n = parents.size();
+    std::vector<NodeId> prev(n);
+    NodeId rounds = 0;
+    while (true) {
+      ++rounds;
+      stats::RecordRound();
+      ParallelFor(0, n, [&](size_t v) { prev[v] = parents[v]; });
+      std::atomic<bool> changed{false};
+      ParallelFor(0, edges.size(), [&](size_t i) {
+        const Edge e = edges[i];
+        if (e.u == e.v) return;
+        const NodeId pu = prev[e.u];
+        const NodeId pv = prev[e.v];
+        stats::RecordParentReads(2);
+        bool c = false;
+        if (pv < AtomicLoadRelaxed(&parents[e.u])) {
+          c |= WriteMin(&parents[e.u], pv);
+        }
+        if (pu < AtomicLoadRelaxed(&parents[e.v])) {
+          c |= WriteMin(&parents[e.v], pu);
+        }
+        if (c) {
+          stats::RecordParentWrites(1);
+          changed.store(true, std::memory_order_relaxed);
+        }
+      });
+      // Shortcut on the current parents.
+      ParallelFor(0, n, [&](size_t v) {
+        const NodeId p = AtomicLoadRelaxed(&parents[v]);
+        const NodeId gp = AtomicLoadRelaxed(&parents[p]);
+        if (gp < p) {
+          if (WriteMin(&parents[v], gp)) {
+            changed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+      if (!changed.load(std::memory_order_relaxed)) break;
+    }
+    return rounds;
+  }
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_LIUTARJAN_STERGIOU_H_

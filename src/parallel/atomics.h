@@ -1,0 +1,82 @@
+// Atomic helper primitives used throughout ConnectIt.
+//
+// All concurrent algorithms in this library operate on arrays of plain
+// integral values (parent/label arrays) using compare-and-swap loops. These
+// helpers centralize the memory-order conventions: relaxed loads on hot
+// paths, acq_rel CAS, matching the reference ConnectIt implementation's use
+// of raw x86 atomics.
+
+#ifndef CONNECTIT_PARALLEL_ATOMICS_H_
+#define CONNECTIT_PARALLEL_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace connectit {
+
+// Atomically loads `*addr`. The arrays we operate on are allocated as plain
+// T[]; all concurrent accesses go through these helpers, which is valid for
+// lock-free std::atomic_ref-style access on the supported platforms.
+template <typename T>
+inline T AtomicLoad(const T* addr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return reinterpret_cast<const std::atomic<T>*>(addr)->load(
+      std::memory_order_acquire);
+}
+
+template <typename T>
+inline T AtomicLoadRelaxed(const T* addr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return reinterpret_cast<const std::atomic<T>*>(addr)->load(
+      std::memory_order_relaxed);
+}
+
+template <typename T>
+inline void AtomicStore(T* addr, T value) {
+  reinterpret_cast<std::atomic<T>*>(addr)->store(value,
+                                                 std::memory_order_release);
+}
+
+// Single compare-and-swap attempt; returns true iff `*addr` was `expected`
+// and has been replaced by `desired`.
+template <typename T>
+inline bool CompareAndSwap(T* addr, T expected, T desired) {
+  return reinterpret_cast<std::atomic<T>*>(addr)->compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel,
+      std::memory_order_acquire);
+}
+
+// Atomically sets `*addr = min(*addr, value)`. Returns true iff this call
+// lowered the stored value (the priority-update primitive of Shun et al.).
+template <typename T>
+inline bool WriteMin(T* addr, T value) {
+  T current = AtomicLoadRelaxed(addr);
+  while (value < current) {
+    if (CompareAndSwap(addr, current, value)) return true;
+    current = AtomicLoadRelaxed(addr);
+  }
+  return false;
+}
+
+// Atomically sets `*addr = max(*addr, value)`. Returns true iff this call
+// raised the stored value.
+template <typename T>
+inline bool WriteMax(T* addr, T value) {
+  T current = AtomicLoadRelaxed(addr);
+  while (value > current) {
+    if (CompareAndSwap(addr, current, value)) return true;
+    current = AtomicLoadRelaxed(addr);
+  }
+  return false;
+}
+
+template <typename T>
+inline T FetchAdd(T* addr, T delta) {
+  return reinterpret_cast<std::atomic<T>*>(addr)->fetch_add(
+      delta, std::memory_order_acq_rel);
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_PARALLEL_ATOMICS_H_

@@ -1,0 +1,53 @@
+// Deterministic, splittable pseudo-random utilities.
+//
+// Parallel algorithms need per-element random values that do not depend on
+// the schedule. We use stateless hashing (splitmix64) keyed by (seed, index)
+// so every run with the same seed produces identical samples regardless of
+// thread count.
+
+#ifndef CONNECTIT_PARALLEL_RANDOM_H_
+#define CONNECTIT_PARALLEL_RANDOM_H_
+
+#include <cstdint>
+
+namespace connectit {
+
+// splitmix64 finalizer: a high-quality 64-bit mix function.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A stateless generator: value i of stream `seed` is Hash64(seed ^ mix(i)).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0) : seed_(Hash64(seed + 1)) {}
+
+  // The i-th random 64-bit value of this stream.
+  uint64_t Get(uint64_t i) const { return Hash64(seed_ ^ (i * kGolden)); }
+
+  // The i-th random value in [0, bound). Requires bound > 0.
+  uint64_t GetBounded(uint64_t i, uint64_t bound) const {
+    // Multiply-shift range reduction (unbiased enough for sampling use).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Get(i)) * bound) >> 64);
+  }
+
+  // The i-th random double in [0, 1).
+  double GetDouble(uint64_t i) const {
+    return static_cast<double>(Get(i) >> 11) * 0x1.0p-53;
+  }
+
+  // Derives an independent stream.
+  Rng Split(uint64_t salt) const { return Rng(seed_ ^ Hash64(salt + 17)); }
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  uint64_t seed_;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_PARALLEL_RANDOM_H_

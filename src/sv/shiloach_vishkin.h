@@ -1,0 +1,112 @@
+// Shiloach-Vishkin connectivity (paper §B.2.4, Algorithm 15).
+//
+// Synchronous rounds: every edge between two tree roots hooks the larger
+// root onto the smaller via WriteMin (our variant; classic implementations
+// use a plain racy write), then all trees are compressed to depth one by
+// pointer jumping. Root-based and monotone, so it supports spanning forest
+// (RunForest) and streaming (Type (ii)).
+
+#ifndef CONNECTIT_SV_SHILOACH_VISHKIN_H_
+#define CONNECTIT_SV_SHILOACH_VISHKIN_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/slot_recorder.h"
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/thread_pool.h"
+#include "src/stats/counters.h"
+
+namespace connectit {
+
+class ShiloachVishkin {
+ public:
+  // Generic round loop: `map_edges(apply)` must invoke apply(u, v) for every
+  // edge to consider this round. Returns the number of rounds.
+  template <typename MapEdges, typename Recorder>
+  static NodeId RunRounds(MapEdges&& map_edges, std::vector<NodeId>& parents,
+                          Recorder& recorder) {
+    const size_t n = parents.size();
+    NodeId rounds = 0;
+    while (true) {
+      ++rounds;
+      stats::RecordRound();
+      std::atomic<bool> changed{false};
+      map_edges([&](NodeId u, NodeId v) {
+        const NodeId pu = AtomicLoadRelaxed(&parents[u]);
+        const NodeId pv = AtomicLoadRelaxed(&parents[v]);
+        stats::RecordParentReads(2);
+        if (pu == pv) return;
+        // Hook the larger root under the smaller label.
+        const NodeId hi = std::max(pu, pv);
+        const NodeId lo = std::min(pu, pv);
+        if (AtomicLoadRelaxed(&parents[hi]) == hi) {
+          if (WriteMin(&parents[hi], lo)) {
+            stats::RecordParentWrites(1);
+            recorder.Record(hi, lo, {u, v});
+            changed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+      // Full pointer-jump compression.
+      ParallelFor(0, n, [&](size_t vi) {
+        NodeId v = static_cast<NodeId>(vi);
+        NodeId root = AtomicLoadRelaxed(&parents[v]);
+        uint64_t hops = 1;
+        while (true) {
+          const NodeId p = AtomicLoadRelaxed(&parents[root]);
+          ++hops;
+          if (p == root) break;
+          root = p;
+        }
+        stats::RecordParentReads(hops);
+        WriteMin(&parents[v], root);
+      });
+      if (!changed.load(std::memory_order_relaxed)) break;
+    }
+    return rounds;
+  }
+
+  // Static finish over a CSR graph; `skip` (optional) suppresses arcs whose
+  // source had the frequent label after sampling.
+  template <typename GraphT>
+  static NodeId Run(const GraphT& graph, std::vector<NodeId>& parents,
+                    const std::vector<uint8_t>* skip = nullptr) {
+    NullRecorder recorder;
+    return RunGraph(graph, parents, skip, recorder);
+  }
+
+  template <typename GraphT, typename Recorder>
+  static NodeId RunGraph(const GraphT& graph, std::vector<NodeId>& parents,
+                         const std::vector<uint8_t>* skip,
+                         Recorder& recorder) {
+    return RunRounds(
+        [&](auto&& apply) {
+          if (skip == nullptr) {
+            graph.MapArcs(apply);
+          } else {
+            graph.MapArcsIf([&](NodeId u) { return !(*skip)[u]; }, apply);
+          }
+        },
+        parents, recorder);
+  }
+
+  // Batch form used by the streaming framework.
+  static NodeId RunOnEdges(const std::vector<Edge>& edges,
+                           std::vector<NodeId>& parents) {
+    NullRecorder recorder;
+    return RunRounds(
+        [&](auto&& apply) {
+          ParallelFor(0, edges.size(), [&](size_t i) {
+            apply(edges[i].u, edges[i].v);
+          });
+        },
+        parents, recorder);
+  }
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_SV_SHILOACH_VISHKIN_H_

@@ -1,0 +1,273 @@
+// Concurrent union-find variants (paper §3.3.1, Algorithms 10-14).
+//
+// Dsu<unite, find, splice> is a compile-time composition of a unite rule, a
+// find/compaction rule, and (for Rem's algorithms) a splice rule. All unite
+// rules are min-based and link only roots, except Rem's splice steps which
+// may redirect non-root vertices (always to smaller parent values,
+// preserving acyclicity).
+//
+// Unite returns the root it hooked (needed by spanning forest) or
+// kInvalidNode when the endpoints were already connected.
+
+#ifndef CONNECTIT_UNIONFIND_DSU_H_
+#define CONNECTIT_UNIONFIND_DSU_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/random.h"
+#include "src/parallel/thread_pool.h"
+#include "src/unionfind/find.h"
+#include "src/unionfind/options.h"
+#include "src/unionfind/splice.h"
+
+namespace connectit {
+
+// Fully compresses a quiescent parent forest so every vertex points directly
+// at its root. Only call when no unions are in flight.
+inline void FullyCompressParents(NodeId* parents, NodeId n) {
+  ParallelFor(0, n, [&](size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    NodeId root = v;
+    while (parents[root] != root) root = parents[root];
+    parents[v] = root;
+  });
+}
+
+template <UniteOption kUnite, FindOption kFind,
+          SpliceOption kSplice = SpliceOption::kNone>
+class Dsu {
+  static_assert(IsValidCombination(kUnite, kFind, kSplice),
+                "invalid (unite, find, splice) combination");
+
+ public:
+  // Binds to an external parent array of size n. The array must already be
+  // a valid rooted forest (e.g., the identity, or a sampling method's
+  // output satisfying Definition 3.1).
+  Dsu(NodeId* parents, NodeId n) : parents_(parents), n_(n) {
+    if constexpr (kUnite == UniteOption::kHooks) {
+      hooks_.assign(n, kInvalidNode);
+    }
+    if constexpr (kUnite == UniteOption::kRemLock) {
+      locks_ = std::make_unique<std::atomic<uint8_t>[]>(n);
+      for (NodeId i = 0; i < n; ++i) {
+        locks_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  NodeId* parents() { return parents_; }
+  NodeId num_nodes() const { return n_; }
+
+  NodeId Find(NodeId u) { return connectit::Find<kFind>(u, parents_); }
+
+  // Connectivity query; wait-free for all variants.
+  bool SameSet(NodeId u, NodeId v) {
+    // Standard concurrent same-set loop: re-check that the first root is
+    // still a root after finding the second.
+    while (true) {
+      const NodeId ru = Find(u);
+      const NodeId rv = Find(v);
+      if (ru == rv) return true;
+      if (AtomicLoad(&parents_[ru]) == ru) return false;
+    }
+  }
+
+  NodeId Unite(NodeId u, NodeId v) {
+    if constexpr (kUnite == UniteOption::kAsync) {
+      return UniteAsync(u, v);
+    } else if constexpr (kUnite == UniteOption::kHooks) {
+      return UniteHooks(u, v);
+    } else if constexpr (kUnite == UniteOption::kEarly) {
+      return UniteEarly(u, v);
+    } else if constexpr (kUnite == UniteOption::kRemCas) {
+      return UniteRemCas(u, v);
+    } else if constexpr (kUnite == UniteOption::kRemLock) {
+      return UniteRemLock(u, v);
+    } else {
+      return UniteJtb(u, v);
+    }
+  }
+
+ private:
+  // Algorithm 10: link the larger root under the smaller, retrying with
+  // fresh finds on CAS failure.
+  NodeId UniteAsync(NodeId u, NodeId v) {
+    NodeId pu = Find(u);
+    NodeId pv = Find(v);
+    while (pu != pv) {
+      if (pu < pv) std::swap(pu, pv);
+      if (CompareAndSwap(&parents_[pu], pu, pv)) {
+        stats::RecordParentWrites(1);
+        return pu;
+      }
+      pu = Find(pu);
+      pv = Find(pv);
+    }
+    return kInvalidNode;
+  }
+
+  // Algorithm 11: claim the root via CAS on the hooks array, then perform
+  // an uncontended write on the parent array.
+  NodeId UniteHooks(NodeId u, NodeId v) {
+    while (true) {
+      const NodeId pu = Find(u);
+      const NodeId pv = Find(v);
+      if (pu == pv) return kInvalidNode;
+      const NodeId hi = std::max(pu, pv);
+      const NodeId lo = std::min(pu, pv);
+      if (CompareAndSwap(&hooks_[hi], kInvalidNode, lo)) {
+        AtomicStore(&parents_[hi], lo);
+        stats::RecordParentWrites(1);
+        return hi;
+      }
+    }
+  }
+
+  // Algorithm 12: walk the larger endpoint up its path, hooking eagerly
+  // the moment it is observed to be a root. Optionally compresses the
+  // original endpoints afterwards (any find option other than kNaive).
+  NodeId UniteEarly(NodeId u, NodeId v) {
+    const NodeId orig_u = u;
+    const NodeId orig_v = v;
+    NodeId hooked = kInvalidNode;
+    uint64_t hops = 0;
+    while (true) {
+      if (u == v) break;
+      if (u < v) std::swap(u, v);
+      const NodeId pu = AtomicLoad(&parents_[u]);
+      ++hops;
+      if (pu == u && CompareAndSwap(&parents_[u], u, v)) {
+        stats::RecordParentWrites(1);
+        hooked = u;
+        break;
+      }
+      if (pu == u) {
+        // Lost the hook race; re-read the fresh parent.
+        u = AtomicLoad(&parents_[u]);
+        ++hops;
+        continue;
+      }
+      // Eagerly compact one step (grandparent shortcut) while walking up,
+      // which keeps the walked paths short.
+      const NodeId gp = AtomicLoad(&parents_[pu]);
+      ++hops;
+      if (gp != pu) CompareAndSwap(&parents_[u], pu, gp);
+      u = pu;
+    }
+    stats::RecordPath(hops);
+    stats::RecordParentReads(hops);
+    if constexpr (kFind != FindOption::kNaive) {
+      Find(orig_u);
+      Find(orig_v);
+    }
+    return hooked;
+  }
+
+  // Algorithm 14: lock-free Rem's algorithm. Positions rx/ry carry the
+  // invariant "link from larger parent value to smaller"; non-root steps
+  // apply the splice rule.
+  NodeId UniteRemCas(NodeId u, NodeId v) {
+    NodeId rx = u;
+    NodeId ry = v;
+    NodeId px = AtomicLoad(&parents_[rx]);
+    NodeId py = AtomicLoad(&parents_[ry]);
+    stats::RecordParentReads(2);
+    while (px != py) {
+      if (px < py) {
+        std::swap(rx, ry);
+        std::swap(px, py);
+      }
+      if (rx == px) {  // rx is a root with the larger value
+        if (CompareAndSwap(&parents_[rx], rx, py)) {
+          stats::RecordParentWrites(1);
+          return rx;
+        }
+      } else {
+        rx = Splice<kSplice>(rx, ry, parents_);
+      }
+      px = AtomicLoad(&parents_[rx]);
+      py = AtomicLoad(&parents_[ry]);
+      stats::RecordParentReads(2);
+    }
+    return kInvalidNode;
+  }
+
+  // Algorithm 13: Patwary et al.'s lock-based Rem's algorithm. The root
+  // link is performed under a per-vertex spinlock with a re-check.
+  NodeId UniteRemLock(NodeId u, NodeId v) {
+    NodeId rx = u;
+    NodeId ry = v;
+    NodeId px = AtomicLoad(&parents_[rx]);
+    NodeId py = AtomicLoad(&parents_[ry]);
+    stats::RecordParentReads(2);
+    while (px != py) {
+      if (px < py) {
+        std::swap(rx, ry);
+        std::swap(px, py);
+      }
+      if (rx == px) {
+        LockVertex(rx);
+        const NodeId cur_py = AtomicLoad(&parents_[ry]);
+        const bool ok =
+            (AtomicLoad(&parents_[rx]) == rx) && (cur_py < rx);
+        if (ok) {
+          AtomicStore(&parents_[rx], cur_py);
+          stats::RecordParentWrites(1);
+        }
+        UnlockVertex(rx);
+        if (ok) return rx;
+      } else {
+        rx = Splice<kSplice>(rx, ry, parents_);
+      }
+      px = AtomicLoad(&parents_[rx]);
+      py = AtomicLoad(&parents_[ry]);
+      stats::RecordParentReads(2);
+    }
+    return kInvalidNode;
+  }
+
+  // Jayanti-Tarjan-Boix-Adsera randomized concurrent union: roots are
+  // linked by random priority (ties by id), finds use either no compaction
+  // ("FindSimple") or two-try splitting.
+  NodeId UniteJtb(NodeId u, NodeId v) {
+    NodeId ru = Find(u);
+    NodeId rv = Find(v);
+    while (ru != rv) {
+      // ru should be the lower-priority root (the one that gets hooked).
+      if (Priority(ru) > Priority(rv) ||
+          (Priority(ru) == Priority(rv) && ru < rv)) {
+        std::swap(ru, rv);
+      }
+      if (CompareAndSwap(&parents_[ru], ru, rv)) {
+        stats::RecordParentWrites(1);
+        return ru;
+      }
+      ru = Find(ru);
+      rv = Find(rv);
+    }
+    return kInvalidNode;
+  }
+
+  static uint64_t Priority(NodeId v) { return Hash64(0x4a544221ULL ^ v); }
+
+  void LockVertex(NodeId v) {
+    while (locks_[v].exchange(1, std::memory_order_acquire) != 0) {
+      // spin
+    }
+  }
+  void UnlockVertex(NodeId v) {
+    locks_[v].store(0, std::memory_order_release);
+  }
+
+  NodeId* parents_;
+  NodeId n_;
+  std::vector<NodeId> hooks_;  // kHooks only
+  std::unique_ptr<std::atomic<uint8_t>[]> locks_;  // kRemLock only
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_UNIONFIND_DSU_H_

@@ -1,0 +1,155 @@
+// Find implementations (paper Algorithm 8, plus JTB two-try splitting).
+//
+// All operate on a shared parent array P where roots satisfy P[r] == r.
+// Concurrent mutators only ever lower parent values or redirect a vertex to
+// an ancestor, so every loop here terminates.
+
+#ifndef CONNECTIT_UNIONFIND_FIND_H_
+#define CONNECTIT_UNIONFIND_FIND_H_
+
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/stats/counters.h"
+#include "src/unionfind/options.h"
+
+namespace connectit {
+
+// FindNaive: walk to the root without modifying the tree.
+inline NodeId FindNaive(NodeId u, NodeId* parents) {
+  NodeId v = u;
+  uint64_t hops = 0;
+  while (true) {
+    const NodeId p = AtomicLoad(&parents[v]);
+    ++hops;
+    if (p == v) break;
+    v = p;
+  }
+  stats::RecordPath(hops);
+  stats::RecordParentReads(hops);
+  return v;
+}
+
+// FindCompress: find the root, then fully compress the traversed path.
+inline NodeId FindCompress(NodeId u, NodeId* parents) {
+  NodeId root = u;
+  uint64_t hops = 0;
+  if (AtomicLoad(&parents[root]) == root) {
+    stats::RecordPath(1);
+    stats::RecordParentReads(1);
+    return root;
+  }
+  while (true) {
+    const NodeId p = AtomicLoad(&parents[root]);
+    ++hops;
+    if (p == root) break;
+    root = p;
+  }
+  // Second pass: point everything on the path at the root. Plain CAS-free
+  // writes are unsafe under concurrent unions; use CAS-with-check writes
+  // that only ever move a vertex to an ancestor with a smaller id.
+  NodeId v = u;
+  while (true) {
+    const NodeId p = AtomicLoad(&parents[v]);
+    ++hops;
+    if (p <= root || p == v) break;
+    CompareAndSwap(&parents[v], p, root);
+    v = p;
+  }
+  stats::RecordPath(hops);
+  stats::RecordParentReads(hops);
+  stats::RecordParentWrites(1);
+  return root;
+}
+
+// FindAtomicSplit: path splitting — every vertex on the path is redirected
+// to its grandparent.
+inline NodeId FindAtomicSplit(NodeId u, NodeId* parents) {
+  uint64_t hops = 0;
+  while (true) {
+    const NodeId v = AtomicLoad(&parents[u]);
+    const NodeId w = AtomicLoad(&parents[v]);
+    hops += 2;
+    if (v == w) {
+      stats::RecordPath(hops);
+      stats::RecordParentReads(hops);
+      return v;
+    }
+    CompareAndSwap(&parents[u], v, w);
+    u = v;
+  }
+}
+
+// FindAtomicHalve: path halving — every other vertex is redirected to its
+// grandparent.
+inline NodeId FindAtomicHalve(NodeId u, NodeId* parents) {
+  uint64_t hops = 0;
+  while (true) {
+    const NodeId v = AtomicLoad(&parents[u]);
+    const NodeId w = AtomicLoad(&parents[v]);
+    hops += 2;
+    if (v == w) {
+      stats::RecordPath(hops);
+      stats::RecordParentReads(hops);
+      return v;
+    }
+    CompareAndSwap(&parents[u], v, w);
+    u = AtomicLoad(&parents[u]);
+  }
+}
+
+// FindTwoTrySplit (Jayanti-Tarjan-Boix-Adsera): like path splitting, but a
+// failed split is retried once with fresh values before advancing. This is
+// the compaction rule behind their O(m * (alpha + log(1 + np/m))) bound.
+inline NodeId FindTwoTrySplit(NodeId u, NodeId* parents) {
+  uint64_t hops = 0;
+  while (true) {
+    const NodeId v = AtomicLoad(&parents[u]);
+    const NodeId w = AtomicLoad(&parents[v]);
+    hops += 2;
+    if (v == w) {
+      stats::RecordPath(hops);
+      stats::RecordParentReads(hops);
+      return v;
+    }
+    if (!CompareAndSwap(&parents[u], v, w)) {
+      // Second try with refreshed snapshot.
+      const NodeId v2 = AtomicLoad(&parents[u]);
+      const NodeId w2 = AtomicLoad(&parents[v2]);
+      hops += 2;
+      if (v2 != w2) CompareAndSwap(&parents[u], v2, w2);
+    }
+    u = v;
+  }
+}
+
+// Runtime-dispatched find (used by generic call sites such as queries).
+inline NodeId FindDispatch(FindOption option, NodeId u, NodeId* parents) {
+  switch (option) {
+    case FindOption::kNaive: return FindNaive(u, parents);
+    case FindOption::kSplit: return FindAtomicSplit(u, parents);
+    case FindOption::kHalve: return FindAtomicHalve(u, parents);
+    case FindOption::kCompress: return FindCompress(u, parents);
+    case FindOption::kTwoTrySplit: return FindTwoTrySplit(u, parents);
+  }
+  return u;
+}
+
+// Compile-time find selector.
+template <FindOption kOption>
+inline NodeId Find(NodeId u, NodeId* parents) {
+  if constexpr (kOption == FindOption::kNaive) {
+    return FindNaive(u, parents);
+  } else if constexpr (kOption == FindOption::kSplit) {
+    return FindAtomicSplit(u, parents);
+  } else if constexpr (kOption == FindOption::kHalve) {
+    return FindAtomicHalve(u, parents);
+  } else if constexpr (kOption == FindOption::kCompress) {
+    return FindCompress(u, parents);
+  } else {
+    return FindTwoTrySplit(u, parents);
+  }
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_UNIONFIND_FIND_H_

@@ -1,0 +1,65 @@
+// Splice rules for Rem's algorithms (paper Algorithm 9): what a union step
+// does when positioned at a non-root vertex.
+
+#ifndef CONNECTIT_UNIONFIND_SPLICE_H_
+#define CONNECTIT_UNIONFIND_SPLICE_H_
+
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/stats/counters.h"
+#include "src/unionfind/options.h"
+
+namespace connectit {
+
+// One atomic path split at u; returns u's (previous) parent, which becomes
+// the next position on the path.
+inline NodeId SplitAtomicOne(NodeId u, NodeId /*other*/, NodeId* parents) {
+  const NodeId v = AtomicLoad(&parents[u]);
+  const NodeId w = AtomicLoad(&parents[v]);
+  stats::RecordParentReads(2);
+  if (v != w) {
+    CompareAndSwap(&parents[u], v, w);
+    stats::RecordParentWrites(1);
+  }
+  return v;
+}
+
+// One atomic path halve at u; returns u's grandparent.
+inline NodeId HalveAtomicOne(NodeId u, NodeId /*other*/, NodeId* parents) {
+  const NodeId v = AtomicLoad(&parents[u]);
+  const NodeId w = AtomicLoad(&parents[v]);
+  stats::RecordParentReads(2);
+  if (v != w) {
+    CompareAndSwap(&parents[u], v, w);
+    stats::RecordParentWrites(1);
+  }
+  return w;
+}
+
+// Rem's splice: redirect u under the other path's parent (only correct
+// phase-concurrently; see paper Theorem 3).
+inline NodeId SpliceAtomic(NodeId u, NodeId other, NodeId* parents) {
+  const NodeId pu = AtomicLoad(&parents[u]);
+  const NodeId po = AtomicLoad(&parents[other]);
+  stats::RecordParentReads(2);
+  if (po < pu) {
+    CompareAndSwap(&parents[u], pu, po);
+    stats::RecordParentWrites(1);
+  }
+  return pu;
+}
+
+template <SpliceOption kOption>
+inline NodeId Splice(NodeId u, NodeId other, NodeId* parents) {
+  if constexpr (kOption == SpliceOption::kSplitOne) {
+    return SplitAtomicOne(u, other, parents);
+  } else if constexpr (kOption == SpliceOption::kHalveOne) {
+    return HalveAtomicOne(u, other, parents);
+  } else {
+    return SpliceAtomic(u, other, parents);
+  }
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_UNIONFIND_SPLICE_H_

@@ -1,0 +1,100 @@
+// Baseline algorithm tests: every comparison target used by the benches
+// must itself be correct.
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/baselines/afforest.h"
+#include "src/baselines/bfscc.h"
+#include "src/baselines/edge_primitives.h"
+#include "src/baselines/gapbs_sv.h"
+#include "src/baselines/seq_cc.h"
+#include "src/baselines/stinger_cc.h"
+#include "src/baselines/workefficient_cc.h"
+#include "src/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+TEST(Baselines, AllStaticBaselinesMatchGroundTruth) {
+  for (const auto& [name, g] : testing::CorrectnessBasket()) {
+    const std::vector<NodeId> truth = SequentialComponents(g);
+    EXPECT_TRUE(SamePartition(SequentialUnionFindCC(g), truth))
+        << "seq-uf/" << name;
+    EXPECT_TRUE(SamePartition(BfsCC(g), truth)) << "bfscc/" << name;
+    EXPECT_TRUE(SamePartition(WorkEfficientCC(g), truth))
+        << "workefficient/" << name;
+    EXPECT_TRUE(SamePartition(AfforestCC(g), truth)) << "afforest/" << name;
+    EXPECT_TRUE(SamePartition(GapbsShiloachVishkin(g), truth))
+        << "gapbs-sv/" << name;
+  }
+}
+
+TEST(Baselines, SequentialUnionFindLabelsAreComponentMinima) {
+  const Graph g = GenerateComponentMixture(500, 4, 9);
+  const std::vector<NodeId> labels = SequentialUnionFindCC(g);
+  EXPECT_EQ(labels, CanonicalizeLabels(labels));
+}
+
+TEST(Baselines, AfforestNeighborRoundsParameter) {
+  const Graph g = GenerateRmat(1024, 8192, 3);
+  const std::vector<NodeId> truth = SequentialComponents(g);
+  for (uint32_t rounds : {0u, 1u, 2u, 5u}) {
+    EXPECT_TRUE(SamePartition(AfforestCC(g, rounds), truth))
+        << "rounds=" << rounds;
+  }
+}
+
+TEST(StingerGraph, InsertAndIterate) {
+  StingerGraph g(10);
+  for (NodeId v = 1; v < 10; ++v) g.InsertArc(0, v);
+  EXPECT_EQ(g.num_arcs(), 9u);
+  size_t count = 0;
+  g.MapNeighbors(0, [&](NodeId) { ++count; });
+  EXPECT_EQ(count, 9u);
+  // Spill across multiple blocks.
+  StingerGraph big(2);
+  for (int i = 0; i < 100; ++i) big.InsertArc(0, 1);
+  count = 0;
+  big.MapNeighbors(0, [&](NodeId v) {
+    EXPECT_EQ(v, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(StingerStreamingCC, TracksComponentsUnderInsertions) {
+  const NodeId n = 300;
+  StingerStreamingCC cc(n);
+  const EdgeList edges = GenerateErdosRenyiEdges(n, 900, 13);
+  EdgeList applied;
+  applied.num_nodes = n;
+  const size_t batch = 100;
+  for (size_t start = 0; start < edges.size(); start += batch) {
+    const size_t end = std::min(start + batch, edges.size());
+    const std::vector<Edge> b(edges.edges.begin() + start,
+                              edges.edges.begin() + end);
+    const double t = cc.InsertBatch(b);
+    EXPECT_GE(t, 0.0);
+    applied.edges.insert(applied.edges.end(), b.begin(), b.end());
+    EXPECT_TRUE(SamePartition(cc.labels(), SequentialComponents(applied)));
+  }
+}
+
+TEST(EdgePrimitives, MapEdgesTouchesEveryArc) {
+  const Graph g = GenerateRmat(512, 2048, 5);
+  const uint64_t result = MapEdges(g);
+  // acc adds 1 + (v & 1) per arc: between num_arcs and 2 * num_arcs.
+  EXPECT_GE(result, g.num_arcs());
+  EXPECT_LE(result, 2 * g.num_arcs());
+}
+
+TEST(EdgePrimitives, GatherEdgesIsDeterministic) {
+  const Graph g = GenerateRmat(512, 2048, 5);
+  EXPECT_EQ(GatherEdges(g), GatherEdges(g));
+  EXPECT_GT(GatherEdges(g), 0u);
+}
+
+}  // namespace
+}  // namespace connectit

@@ -1,0 +1,169 @@
+// Tests for the traversal substrate: direction-optimizing BFS, low-diameter
+// decomposition, and the verification oracles themselves.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/algo/bfs.h"
+#include "src/algo/ldd.h"
+#include "src/algo/verify.h"
+#include "src/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+TEST(Bfs, ReachesExactlyTheComponent) {
+  const Graph g = GenerateComponentMixture(1000, 4, 3);
+  const std::vector<NodeId> truth = SequentialComponents(g);
+  const BfsResult bfs = Bfs(g, 0);
+  NodeId reached = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool in_component = (truth[v] == truth[0]);
+    EXPECT_EQ(bfs.parents[v] != kInvalidNode, in_component) << "v=" << v;
+    reached += (bfs.parents[v] != kInvalidNode);
+  }
+  EXPECT_EQ(bfs.num_reached, reached);
+}
+
+TEST(Bfs, ParentsFormValidTree) {
+  const Graph g = GenerateRmat(512, 4096, 7);
+  const NodeId src = 3;
+  const BfsResult bfs = Bfs(g, src);
+  EXPECT_EQ(bfs.parents[src], src);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == src || bfs.parents[v] == kInvalidNode) continue;
+    // Parent must be an actual neighbor.
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(),
+                                   bfs.parents[v]))
+        << v;
+    // Walking parents reaches src without cycles.
+    NodeId cur = v;
+    size_t steps = 0;
+    while (cur != src) {
+      cur = bfs.parents[cur];
+      ASSERT_LT(++steps, g.num_nodes());
+    }
+  }
+}
+
+TEST(Bfs, RoundsEqualEccentricityOnPath) {
+  const Graph g = GeneratePath(100);
+  EXPECT_EQ(Bfs(g, 0).num_rounds, 99u);
+  EXPECT_EQ(Bfs(g, 50).num_rounds, 50u);
+}
+
+TEST(Bfs, DenseGraphUsesFewRounds) {
+  const Graph g = GenerateComplete(64);
+  const BfsResult bfs = Bfs(g, 0);
+  EXPECT_EQ(bfs.num_rounds, 1u);
+  EXPECT_EQ(bfs.num_reached, 64u);
+}
+
+TEST(Bfs, DirectionOptimizationMatchesPlainBfs) {
+  // Force pull-heavy and push-heavy configurations; reachability must agree.
+  const Graph g = GenerateRmat(1024, 8192, 11);
+  BfsOptions push_only;
+  push_only.alpha = 1e18;  // never switch to pull
+  BfsOptions pull_eager;
+  pull_eager.alpha = 1.0;  // switch almost immediately
+  const BfsResult a = Bfs(g, 5, push_only);
+  const BfsResult b = Bfs(g, 5, pull_eager);
+  EXPECT_EQ(a.num_reached, b.num_reached);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(a.parents[v] == kInvalidNode, b.parents[v] == kInvalidNode);
+  }
+}
+
+TEST(Ldd, CoversAllVerticesWithValidClusters) {
+  for (const auto& [name, g] : testing::CorrectnessBasket()) {
+    if (g.num_nodes() == 0) continue;
+    const LddResult ldd = LowDiameterDecomposition(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_NE(ldd.clusters[v], kInvalidNode) << name;
+      // Cluster ids are centers: cluster[center] == center.
+      EXPECT_EQ(ldd.clusters[ldd.clusters[v]], ldd.clusters[v]) << name;
+    }
+  }
+}
+
+TEST(Ldd, ClustersAreConnectedViaParents) {
+  const Graph g = GenerateGrid(20, 20);
+  const LddResult ldd = LowDiameterDecomposition(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Walking the intra-cluster BFS tree reaches the center.
+    NodeId cur = v;
+    size_t steps = 0;
+    while (ldd.parents[cur] != cur) {
+      // Parent stays in the same cluster and is a graph neighbor.
+      const NodeId p = ldd.parents[cur];
+      EXPECT_EQ(ldd.clusters[p], ldd.clusters[cur]);
+      const auto nbrs = g.neighbors(cur);
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), p));
+      cur = p;
+      ASSERT_LT(++steps, g.num_nodes());
+    }
+    EXPECT_EQ(cur, ldd.clusters[v]);
+  }
+}
+
+TEST(Ldd, LargerBetaCutsMoreAndClustersMore) {
+  const Graph g = GenerateGrid(50, 50);
+  LddOptions lo;
+  lo.beta = 0.05;
+  LddOptions hi;
+  hi.beta = 0.8;
+  const LddResult a = LowDiameterDecomposition(g, lo);
+  const LddResult b = LowDiameterDecomposition(g, hi);
+  EXPECT_LT(a.num_clusters, b.num_clusters);
+}
+
+TEST(Ldd, DeterministicPerSeed) {
+  const Graph g = GenerateRmat(512, 2048, 13);
+  LddOptions opt;
+  opt.seed = 99;
+  const LddResult a = LowDiameterDecomposition(g, opt);
+  const LddResult b = LowDiameterDecomposition(g, opt);
+  EXPECT_EQ(a.clusters, b.clusters);
+}
+
+TEST(Verify, CanonicalizeIsIdempotentAndStable) {
+  const std::vector<NodeId> labels = {7, 7, 3, 3, 7};
+  const std::vector<NodeId> canon = CanonicalizeLabels(labels);
+  EXPECT_EQ(canon, (std::vector<NodeId>{0, 0, 2, 2, 0}));
+  EXPECT_EQ(CanonicalizeLabels(canon), canon);
+}
+
+TEST(Verify, SamePartitionDetectsDifferences) {
+  EXPECT_TRUE(SamePartition({5, 5, 9}, {0, 0, 2}));
+  EXPECT_FALSE(SamePartition({5, 5, 9}, {0, 1, 2}));
+  EXPECT_FALSE(SamePartition({0, 0}, {0, 0, 0}));
+  // Same partition, different label values.
+  EXPECT_TRUE(SamePartition({1, 1, 0, 0}, {9, 9, 4, 4}));
+  // Label collision across components must be caught.
+  EXPECT_FALSE(SamePartition({0, 0, 0, 0}, {0, 0, 4, 4}));
+}
+
+TEST(Verify, SpanningForestChecker) {
+  const Graph g = BuildGraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  // Valid forest: 3 edges for 2 components over 5 vertices.
+  EXPECT_TRUE(CheckSpanningForest(g, {{0, 1}, {1, 2}, {3, 4}}));
+  // Cycle.
+  EXPECT_FALSE(CheckSpanningForest(g, {{0, 1}, {1, 2}, {2, 0}}));
+  // Too few edges (does not span).
+  EXPECT_FALSE(CheckSpanningForest(g, {{0, 1}, {3, 4}}));
+  // Non-graph edge.
+  EXPECT_FALSE(CheckSpanningForest(g, {{0, 3}, {1, 2}, {3, 4}}));
+}
+
+TEST(Verify, EffectiveDiameterOnKnownShapes) {
+  EXPECT_EQ(EstimateEffectiveDiameter(GenerateComplete(32)), 1u);
+  const NodeId d = EstimateEffectiveDiameter(GeneratePath(64));
+  EXPECT_GE(d, 32u);  // eccentricity of some vertex on a 64-path
+  EXPECT_LE(d, 63u);
+}
+
+}  // namespace
+}  // namespace connectit

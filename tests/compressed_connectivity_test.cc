@@ -1,0 +1,165 @@
+// End-to-end ConnectIt on byte-compressed graphs (the paper's large-graph
+// path: its Hyperlink results run directly on Ligra+-coded graphs). The
+// framework is graph-generic; these tests sweep finish algorithms and
+// sampling schemes over CompressedGraph inputs.
+
+#include <gtest/gtest.h>
+
+#include "src/algo/bfs.h"
+#include "src/algo/ldd.h"
+#include "src/algo/verify.h"
+#include "src/core/connectit.h"
+#include "src/graph/compressed.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+TEST(CompressedAccess, NeighborAtMatchesPlainCsr) {
+  for (const auto& [name, g] : testing::CorrectnessBasket()) {
+    const CompressedGraph cg = CompressedGraph::Encode(g);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      // Check first/last and a middle position (covers block boundaries for
+      // the star graph).
+      for (const EdgeId i :
+           {EdgeId{0}, nbrs.size() / 2, nbrs.size() - 1}) {
+        if (i >= nbrs.size()) continue;
+        ASSERT_EQ(cg.NeighborAt(u, i), nbrs[i])
+            << name << " u=" << u << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(CompressedAccess, MapNeighborsWhileStopsEarly) {
+  const Graph g = GenerateStar(500);
+  const CompressedGraph cg = CompressedGraph::Encode(g);
+  size_t visited = 0;
+  cg.MapNeighborsWhile(0, [&](NodeId) {
+    ++visited;
+    return visited < 10;
+  });
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST(CompressedAccess, MapArcsIfSkipsSources) {
+  const Graph g = GenerateComplete(12);
+  const CompressedGraph cg = CompressedGraph::Encode(g);
+  std::atomic<EdgeId> count{0};
+  cg.MapArcsIf([](NodeId u) { return u % 2 == 0; },
+               [&](NodeId u, NodeId) {
+                 ASSERT_EQ(u % 2, 0u);
+                 count.fetch_add(1, std::memory_order_relaxed);
+               });
+  EXPECT_EQ(count.load(), 6u * 11u);
+}
+
+TEST(CompressedTraversal, BfsMatchesPlainGraph) {
+  const Graph g = GenerateRmat(2048, 8192, 21);
+  const CompressedGraph cg = CompressedGraph::Encode(g);
+  const BfsResult plain = Bfs(g, 7);
+  const BfsResult packed = Bfs(cg, 7);
+  EXPECT_EQ(plain.num_reached, packed.num_reached);
+  EXPECT_EQ(plain.num_rounds, packed.num_rounds);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(plain.parents[v] == kInvalidNode,
+              packed.parents[v] == kInvalidNode);
+  }
+}
+
+TEST(CompressedTraversal, LddMatchesPlainGraph) {
+  const Graph g = GenerateGrid(30, 30);
+  const CompressedGraph cg = CompressedGraph::Encode(g);
+  LddOptions options;
+  options.seed = 5;
+  const LddResult plain = LowDiameterDecomposition(g, options);
+  const LddResult packed = LowDiameterDecomposition(cg, options);
+  // Identical seeds and deterministic wake order: identical clusterings on
+  // a single worker; across workers, cluster structure may differ but both
+  // must cover all vertices.
+  EXPECT_EQ(plain.num_clusters > 0, packed.num_clusters > 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NE(packed.clusters[v], kInvalidNode);
+  }
+}
+
+struct CompressedCase {
+  std::string finish;
+  SamplingOption sampling;
+};
+
+class CompressedSweep : public ::testing::TestWithParam<CompressedCase> {};
+
+template <typename Finish>
+void RunCompressedCase(SamplingOption sampling) {
+  SamplingConfig config;
+  config.option = sampling;
+  for (const auto& [name, g] : testing::SmallBasket()) {
+    const CompressedGraph cg = CompressedGraph::Encode(g);
+    const std::vector<NodeId> labels = RunConnectivity<Finish>(cg, config);
+    EXPECT_TRUE(SamePartition(labels, SequentialComponents(g)))
+        << "graph=" << name;
+  }
+}
+
+TEST_P(CompressedSweep, MatchesGroundTruth) {
+  const CompressedCase& param = GetParam();
+  if (param.finish == "rem-cas") {
+    RunCompressedCase<UnionFindFinish<UniteOption::kRemCas, FindOption::kNaive,
+                                      SpliceOption::kSplitOne>>(
+        param.sampling);
+  } else if (param.finish == "async") {
+    RunCompressedCase<UnionFindFinish<UniteOption::kAsync,
+                                      FindOption::kCompress>>(param.sampling);
+  } else if (param.finish == "sv") {
+    RunCompressedCase<ShiloachVishkinFinish>(param.sampling);
+  } else if (param.finish == "lt-prf") {
+    RunCompressedCase<LiuTarjanFinish<LtConnect::kParentConnect,
+                                      LtUpdate::kRootUp,
+                                      LtShortcut::kFullShortcut,
+                                      LtAlter::kNoAlter>>(param.sampling);
+  } else if (param.finish == "labelprop") {
+    RunCompressedCase<LabelPropFinish>(param.sampling);
+  } else {
+    FAIL() << "unknown finish " << param.finish;
+  }
+}
+
+std::vector<CompressedCase> CompressedCases() {
+  std::vector<CompressedCase> cases;
+  for (const char* finish :
+       {"rem-cas", "async", "sv", "lt-prf", "labelprop"}) {
+    for (const SamplingOption s :
+         {SamplingOption::kNone, SamplingOption::kKOut, SamplingOption::kBfs,
+          SamplingOption::kLdd}) {
+      cases.push_back({finish, s});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FinishXSampling, CompressedSweep, ::testing::ValuesIn(CompressedCases()),
+    [](const ::testing::TestParamInfo<CompressedCase>& info) {
+      std::string name = info.param.finish + "_" +
+                         std::string(ToString(info.param.sampling));
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(CompressedForest, SpanningForestOnCompressedGraph) {
+  for (const auto& [name, g] : testing::SmallBasket()) {
+    const CompressedGraph cg = CompressedGraph::Encode(g);
+    using Finish = UnionFindFinish<UniteOption::kRemCas, FindOption::kNaive,
+                                   SpliceOption::kSplitOne>;
+    const SpanningForestResult result =
+        RunSpanningForest<Finish>(cg, SamplingConfig::KOut());
+    EXPECT_TRUE(CheckSpanningForest(g, result.edges)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace connectit

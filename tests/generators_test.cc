@@ -1,0 +1,104 @@
+// Unit tests for the synthetic graph generators.
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/graph/generators.h"
+
+namespace connectit {
+namespace {
+
+TEST(Generators, PathIsConnectedWithRightShape) {
+  const Graph g = GeneratePath(100);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 99u);
+  const ComponentStats stats =
+      ComputeComponentStats(SequentialComponents(g));
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(50), 2u);
+}
+
+TEST(Generators, CycleAndStarAndComplete) {
+  const Graph cycle = GenerateCycle(50);
+  EXPECT_EQ(cycle.num_edges(), 50u);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(cycle.degree(v), 2u);
+
+  const Graph star = GenerateStar(33);
+  EXPECT_EQ(star.num_edges(), 32u);
+  EXPECT_EQ(star.degree(0), 32u);
+
+  const Graph complete = GenerateComplete(12);
+  EXPECT_EQ(complete.num_edges(), 12u * 11 / 2);
+  EXPECT_EQ(ComputeComponentStats(SequentialComponents(complete))
+                .num_components,
+            1u);
+}
+
+TEST(Generators, GridShapeAndDiameter) {
+  const Graph g = GenerateGrid(10, 7);
+  EXPECT_EQ(g.num_nodes(), 70u);
+  EXPECT_EQ(g.num_edges(), 9u * 7 + 10u * 6);
+  EXPECT_EQ(ComputeComponentStats(SequentialComponents(g)).num_components,
+            1u);
+  // Corner vertices have degree 2.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(69), 2u);
+}
+
+TEST(Generators, RmatDeterministicPerSeed) {
+  const EdgeList a = GenerateRmatEdges(1024, 5000, 17);
+  const EdgeList b = GenerateRmatEdges(1024, 5000, 17);
+  const EdgeList c = GenerateRmatEdges(1024, 5000, 18);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+  EXPECT_EQ(a.size(), 5000u);
+  for (const Edge& e : a.edges) {
+    ASSERT_LT(e.u, 1024u);
+    ASSERT_LT(e.v, 1024u);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // With (0.5, 0.1, 0.1) the degree distribution must be clearly skewed:
+  // max degree several times the average (unlike Erdos-Renyi below).
+  const Graph g = GenerateRmat(4096, 81920, 23);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(static_cast<double>(stats.max_degree), 5 * stats.avg_degree);
+}
+
+TEST(Generators, ErdosRenyiIsNotSkewed) {
+  const Graph g = GenerateErdosRenyi(4096, 40960, 23);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_LT(static_cast<double>(stats.max_degree), 5 * stats.avg_degree);
+}
+
+TEST(Generators, BarabasiAlbertConnectedAndSkewed) {
+  const Graph g = GenerateBarabasiAlbert(2000, 3, 31);
+  EXPECT_EQ(ComputeComponentStats(SequentialComponents(g)).num_components,
+            1u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(static_cast<double>(stats.max_degree), 5 * stats.avg_degree);
+}
+
+TEST(Generators, ComponentMixtureHasManyComponents) {
+  const Graph g = GenerateComponentMixture(4000, 8, 41);
+  const ComponentStats stats =
+      ComputeComponentStats(SequentialComponents(g));
+  // Several planted blobs plus a tail of isolated vertices.
+  EXPECT_GT(stats.num_components, 8u);
+  // The largest blob holds about half the vertices.
+  EXPECT_GT(stats.largest_component, 1500u);
+  EXPECT_LT(stats.largest_component, 2500u);
+}
+
+TEST(Generators, DegenerateSizes) {
+  EXPECT_EQ(GeneratePath(0).num_nodes(), 0u);
+  EXPECT_EQ(GeneratePath(1).num_edges(), 0u);
+  EXPECT_EQ(GenerateRmat(1, 10, 1).num_arcs(), 0u);
+  EXPECT_EQ(GenerateGrid(1, 1).num_edges(), 0u);
+  EXPECT_EQ(GenerateComplete(1).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace connectit

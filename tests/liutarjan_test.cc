@@ -1,0 +1,158 @@
+// Focused tests for the Liu-Tarjan framework, Stergiou, and the slot
+// recorder — behaviors the big sweeps exercise but do not pin down.
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/core/sampling.h"
+#include "src/core/slot_recorder.h"
+#include "src/graph/generators.h"
+#include "src/liutarjan/liu_tarjan.h"
+#include "src/liutarjan/stergiou.h"
+#include "src/unionfind/dsu.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+namespace {
+
+std::vector<NodeId> Identity(NodeId n) {
+  std::vector<NodeId> labels(n);
+  for (NodeId v = 0; v < n; ++v) labels[v] = v;
+  return labels;
+}
+
+TEST(LiuTarjan, VariantCodesMatchAppendixD) {
+  EXPECT_EQ(LtVariantCode(LtConnect::kConnect, LtUpdate::kUpdate,
+                          LtShortcut::kShortcut, LtAlter::kAlter),
+            "CUSA");
+  EXPECT_EQ(LtVariantCode(LtConnect::kConnect, LtUpdate::kRootUp,
+                          LtShortcut::kFullShortcut, LtAlter::kAlter),
+            "CRFA");
+  EXPECT_EQ(LtVariantCode(LtConnect::kParentConnect, LtUpdate::kUpdate,
+                          LtShortcut::kShortcut, LtAlter::kNoAlter),
+            "PUS");
+  EXPECT_EQ(LtVariantCode(LtConnect::kParentConnect, LtUpdate::kRootUp,
+                          LtShortcut::kFullShortcut, LtAlter::kNoAlter),
+            "PRF");
+  EXPECT_EQ(LtVariantCode(LtConnect::kExtendedConnect, LtUpdate::kUpdate,
+                          LtShortcut::kFullShortcut, LtAlter::kNoAlter),
+            "EUF");
+}
+
+TEST(LiuTarjan, ConvergesOnEdgeLists) {
+  const EdgeList el = GenerateErdosRenyiEdges(512, 1500, 3);
+  const auto truth = SequentialComponents(el);
+  std::vector<Edge> edges = el.edges;
+  std::vector<NodeId> parents = Identity(512);
+  LiuTarjan<LtConnect::kParentConnect, LtUpdate::kUpdate,
+            LtShortcut::kShortcut, LtAlter::kNoAlter>
+      lt;
+  const NodeId rounds = lt.Run(edges, parents);
+  EXPECT_GE(rounds, 1u);
+  FullyCompressParents(parents.data(), 512);
+  EXPECT_TRUE(SamePartition(parents, truth));
+}
+
+TEST(LiuTarjan, SingleRoundOnPreSolvedInput) {
+  // If parents already hold the answer and edges are all self-consistent,
+  // the first round makes no changes and the algorithm stops immediately.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  std::vector<NodeId> parents = {0, 0, 0};
+  LiuTarjan<LtConnect::kParentConnect, LtUpdate::kUpdate,
+            LtShortcut::kShortcut, LtAlter::kNoAlter>
+      lt;
+  EXPECT_EQ(lt.Run(edges, parents), 1u);
+}
+
+TEST(LiuTarjan, AlterCompactsTheEdgeArray) {
+  // After convergence with Alter, all edges have been rewritten to labels
+  // and self-loops dropped — the array must shrink to empty.
+  const EdgeList el = GenerateErdosRenyiEdges(256, 800, 5);
+  std::vector<Edge> edges = el.edges;
+  std::vector<NodeId> parents = Identity(256);
+  LiuTarjan<LtConnect::kConnect, LtUpdate::kUpdate, LtShortcut::kShortcut,
+            LtAlter::kAlter>
+      lt;
+  lt.Run(edges, parents);
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(LiuTarjan, RootUpOnlyUpdatesRoundStartRoots) {
+  // Drive one round manually: a deep chain plus an edge whose candidate
+  // targets a non-root; RootUp must refuse the update.
+  // parents: 1 -> 0, 2 -> 1 (non-root), edge (2, 0) offers prev-parents.
+  std::vector<NodeId> parents = {0, 0, 1};
+  std::vector<Edge> edges = {{2, 2}};  // self loop: no connect-phase change
+  LiuTarjan<LtConnect::kParentConnect, LtUpdate::kRootUp,
+            LtShortcut::kFullShortcut, LtAlter::kNoAlter>
+      lt;
+  lt.Run(edges, parents);
+  // Only the shortcut phase may have acted: 2's parent jumps to 0.
+  EXPECT_EQ(parents[0], 0u);
+  EXPECT_EQ(parents[1], 0u);
+  EXPECT_EQ(parents[2], 0u);
+}
+
+TEST(LiuTarjan, MonotoneParentsNeverIncrease) {
+  const EdgeList el = GenerateRmatEdges(512, 2048, 9);
+  std::vector<Edge> edges = el.edges;
+  std::vector<NodeId> parents = Identity(512);
+  // Interleave manual snapshots by running two instances round-by-round is
+  // intrusive; instead verify the final state satisfies the invariant that
+  // P[v] <= v (labels only decrease from the identity).
+  LiuTarjan<LtConnect::kExtendedConnect, LtUpdate::kUpdate,
+            LtShortcut::kFullShortcut, LtAlter::kAlter>
+      lt;
+  lt.Run(edges, parents);
+  for (NodeId v = 0; v < 512; ++v) EXPECT_LE(parents[v], v);
+}
+
+TEST(Stergiou, MatchesGroundTruthAndTerminates) {
+  const EdgeList el = GenerateErdosRenyiEdges(1024, 3000, 11);
+  const auto truth = SequentialComponents(el);
+  std::vector<Edge> edges = el.edges;
+  std::vector<NodeId> parents = Identity(1024);
+  Stergiou st;
+  const NodeId rounds = st.Run(edges, parents);
+  EXPECT_GE(rounds, 2u);
+  FullyCompressParents(parents.data(), 1024);
+  EXPECT_TRUE(SamePartition(parents, truth));
+}
+
+TEST(SlotRecorder, LastConsistentWriterWins) {
+  const NodeId n = 4;
+  std::vector<NodeId> parents = {0, 1, 2, 3};
+  std::vector<Edge> slots(n, kEmptySlot);
+  SlotRecorder recorder(&slots, parents.data(), n);
+  // Hook 3 -> 2, record; then a better hook 3 -> 1 overwrites and records.
+  parents[3] = 2;
+  recorder.Record(3, 2, {3, 2});
+  EXPECT_EQ(slots[3], (Edge{3, 2}));
+  parents[3] = 1;
+  recorder.Record(3, 1, {3, 1});
+  EXPECT_EQ(slots[3], (Edge{3, 1}));
+  // A stale record (parent no longer matches) must NOT overwrite.
+  recorder.Record(3, 2, {3, 2});
+  EXPECT_EQ(slots[3], (Edge{3, 1}));
+}
+
+TEST(SlotRecorder, ConcurrentRecordsStayConsistent) {
+  const NodeId n = 2;
+  std::vector<NodeId> parents = {0, 1};
+  std::vector<Edge> slots(n, kEmptySlot);
+  SlotRecorder recorder(&slots, parents.data(), n);
+  // Many threads race WriteMin-style updates on vertex 1 and record; the
+  // final slot must match the final parent.
+  ParallelFor(0, 1000, [&](size_t i) {
+    const NodeId value = static_cast<NodeId>(i % 2);
+    if (WriteMin(&parents[1], value)) {
+      recorder.Record(1, value, {1, static_cast<NodeId>(i)});
+    }
+  });
+  EXPECT_EQ(parents[1], 0u);
+  EXPECT_EQ(slots[1].u, 1u);  // some recorded edge, consistent head
+}
+
+}  // namespace
+}  // namespace connectit

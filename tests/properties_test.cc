@@ -1,0 +1,169 @@
+// Property-based invariants of the paper's correctness framework:
+// monotonicity of root-based algorithms (Definition 3.2), min-based label
+// decrease, determinism under re-execution and thread-count changes, and
+// composition-independence (every sampling x finish pair yields the same
+// partition).
+
+#include <cctype>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/core/registry.h"
+#include "src/parallel/thread_pool.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+// Min-based property: final labels never exceed the vertex id for
+// ID-linking families (everything except JTB, whose roots are
+// priority-chosen).
+TEST(Properties, LabelsAreComponentMinimaForIdLinkingFamilies) {
+  for (const Variant& v : AllVariants()) {
+    if (v.name.rfind("Union-JTB", 0) == 0) continue;
+    for (const auto& [name, graph] : testing::SmallBasket()) {
+      const std::vector<NodeId> labels = v.run(graph, {});
+      const std::vector<NodeId> truth = SequentialComponents(graph);
+      // ID-linking min-based algorithms converge to the canonical labeling
+      // (component minimum), not just any partition.
+      EXPECT_EQ(labels, truth) << v.name << " on " << name;
+    }
+  }
+}
+
+TEST(Properties, DeterministicAcrossReruns) {
+  // Partition-determinism: repeated runs give the same partition (labels of
+  // ID-linking families are even bitwise equal — covered above).
+  const Graph graph = GenerateRmat(4096, 16384, 5);
+  for (const char* name :
+       {"Union-Rem-CAS;FindNaive;SplitAtomicOne", "Union-JTB;FindTwoTrySplit",
+        "Liu-Tarjan;CUSA", "Stergiou"}) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr);
+    const auto a = v->run(graph, SamplingConfig::KOut());
+    const auto b = v->run(graph, SamplingConfig::KOut());
+    EXPECT_TRUE(SamePartition(a, b)) << name;
+  }
+}
+
+TEST(Properties, PartitionInvariantUnderThreadCount) {
+  const size_t original = NumWorkers();
+  const Graph graph = GenerateErdosRenyi(4096, 16384, 9);
+  const std::vector<NodeId> truth = SequentialComponents(graph);
+  for (const size_t workers : {1u, 2u, 4u}) {
+    SetNumWorkers(workers);
+    for (const char* name :
+         {"Union-Rem-CAS;FindNaive;SpliceAtomic", "Union-Hooks;FindHalve",
+          "Shiloach-Vishkin", "Liu-Tarjan;PRFA"}) {
+      const Variant* v = FindVariant(name);
+      ASSERT_NE(v, nullptr);
+      EXPECT_TRUE(SamePartition(v->run(graph, {}), truth))
+          << name << " workers=" << workers;
+    }
+  }
+  SetNumWorkers(original);
+}
+
+// Monotonicity (Definition 3.2): for root-based algorithms, the partition
+// only coarsens as edges are applied. We check the streaming form: labels
+// after batch i+1 refine-upward (every same-set pair stays same-set).
+TEST(Properties, StreamingPartitionsOnlyCoarsen) {
+  const NodeId n = 400;
+  const EdgeList stream = GenerateErdosRenyiEdges(n, 1200, 77);
+  for (const char* name :
+       {"Union-Async;FindSplit", "Shiloach-Vishkin", "Liu-Tarjan;PRF"}) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr);
+    auto alg = v->make_streaming(n);
+    std::vector<NodeId> prev = alg->Labels();
+    const size_t batch = 150;
+    for (size_t start = 0; start < stream.size(); start += batch) {
+      const size_t end = std::min(start + batch, stream.size());
+      alg->ProcessBatch(std::vector<Edge>(stream.edges.begin() + start,
+                                          stream.edges.begin() + end),
+                        {});
+      const std::vector<NodeId> cur = alg->Labels();
+      for (NodeId a = 0; a < n; ++a) {
+        // Same root before => same root after (monotone coarsening).
+        if (prev[a] != a) {
+          EXPECT_EQ(cur[prev[a]], cur[a])
+              << name << ": split a previously merged pair";
+        }
+      }
+      prev = cur;
+    }
+  }
+}
+
+// The composition property behind the framework: the partition is an
+// invariant of the graph, independent of which (sampling, finish) pair
+// computed it.
+TEST(Properties, AllCompositionsAgreePairwise) {
+  const Graph graph = GenerateComponentMixture(1000, 6, 3);
+  std::vector<NodeId> reference;
+  for (const char* name :
+       {"Union-Rem-CAS;FindNaive;HalveAtomicOne", "Union-Early;FindCompress",
+        "Liu-Tarjan;EUF", "Label-Propagation", "Stergiou"}) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr);
+    for (const SamplingOption s :
+         {SamplingOption::kNone, SamplingOption::kKOut,
+          SamplingOption::kBfs, SamplingOption::kLdd}) {
+      SamplingConfig config;
+      config.option = s;
+      const auto labels = v->run(graph, config);
+      if (reference.empty()) {
+        reference = labels;
+      } else {
+        EXPECT_TRUE(SamePartition(labels, reference))
+            << name << "/" << ToString(s);
+      }
+    }
+  }
+}
+
+// Failure injection: adversarial sampling parameters must degrade to
+// correct (if slower) executions, never to wrong answers.
+TEST(Properties, DegenerateSamplingParametersStayCorrect) {
+  const Graph graph = GenerateRmat(1024, 4096, 11);
+  const std::vector<NodeId> truth = SequentialComponents(graph);
+  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  ASSERT_NE(v, nullptr);
+
+  {
+    SamplingConfig c = SamplingConfig::KOut();
+    c.kout.k = 0;  // clamped to 1 internally
+    EXPECT_TRUE(SamePartition(v->run(graph, c), truth));
+  }
+  {
+    SamplingConfig c = SamplingConfig::KOut();
+    c.kout.k = 64;  // more samples than most degrees
+    EXPECT_TRUE(SamePartition(v->run(graph, c), truth));
+  }
+  {
+    SamplingConfig c = SamplingConfig::Bfs();
+    c.bfs.coverage_threshold = 1.1;  // unattainable: sampling finds nothing
+    c.bfs.max_tries = 2;
+    EXPECT_TRUE(SamePartition(v->run(graph, c), truth));
+  }
+  {
+    SamplingConfig c = SamplingConfig::Bfs();
+    c.bfs.max_tries = 0;  // sampling disabled outright
+    EXPECT_TRUE(SamePartition(v->run(graph, c), truth));
+  }
+  {
+    SamplingConfig c = SamplingConfig::Ldd();
+    c.ldd.beta = 0.999;  // nearly every vertex its own cluster
+    EXPECT_TRUE(SamePartition(v->run(graph, c), truth));
+  }
+  {
+    SamplingConfig c = SamplingConfig::Ldd();
+    c.ldd.beta = 0.001;  // one cluster swallows the component
+    EXPECT_TRUE(SamePartition(v->run(graph, c), truth));
+  }
+}
+
+}  // namespace
+}  // namespace connectit

@@ -1,0 +1,215 @@
+// Tests for the sampling phase: Definition 3.1 properties, value
+// monotonicity, per-scheme behavior, quality metrics, and IdentifyFrequent.
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/core/connectit.h"
+#include "src/core/frequent.h"
+#include "src/core/sampling.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+// Definition 3.1(1): labels form a rooted depth-<=1 forest; our schemes
+// additionally guarantee labels[v] <= v (cluster-min normalization).
+void CheckSampleInvariants(const std::string& context, const Graph& graph,
+                           const std::vector<NodeId>& labels) {
+  ASSERT_EQ(labels.size(), graph.num_nodes()) << context;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    ASSERT_LT(labels[v], graph.num_nodes()) << context;
+    EXPECT_EQ(labels[labels[v]], labels[v]) << context << " v=" << v;
+    EXPECT_LE(labels[v], v) << context << " v=" << v;
+  }
+}
+
+// Definition 3.1(2): the sampled labeling is a valid partial labeling —
+// vertices sharing a label must be connected in G.
+void CheckPartialLabeling(const std::string& context, const Graph& graph,
+                          const std::vector<NodeId>& labels) {
+  const std::vector<NodeId> truth = SequentialComponents(graph);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(truth[labels[v]], truth[v])
+        << context << ": sampling merged disconnected vertices, v=" << v;
+  }
+}
+
+class SamplingSchemes
+    : public ::testing::TestWithParam<SamplingOption> {};
+
+TEST_P(SamplingSchemes, SatisfiesDefinition31OnBasket) {
+  SamplingConfig config;
+  config.option = GetParam();
+  for (const auto& [name, graph] : testing::CorrectnessBasket()) {
+    std::vector<NodeId> labels = IdentityLabels(graph.num_nodes());
+    RunSampling(graph, config, labels);
+    const std::string context =
+        std::string(ToString(GetParam())) + "/" + name;
+    CheckSampleInvariants(context, graph, labels);
+    CheckPartialLabeling(context, graph, labels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SamplingSchemes,
+                         ::testing::Values(SamplingOption::kKOut,
+                                           SamplingOption::kBfs,
+                                           SamplingOption::kLdd),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(KOutSampling, AllVariantsProduceValidPartialLabelings) {
+  const Graph g = GenerateRmat(2048, 8192, 3);
+  for (const KOutVariant variant :
+       {KOutVariant::kAfforest, KOutVariant::kPure, KOutVariant::kHybrid,
+        KOutVariant::kMaxDegree}) {
+    for (uint32_t k : {1u, 2u, 4u}) {
+      KOutOptions options;
+      options.variant = variant;
+      options.k = k;
+      std::vector<NodeId> labels = IdentityLabels(g.num_nodes());
+      KOutSample(g, options, labels);
+      const std::string context = std::string(ToString(variant)) +
+                                  "/k=" + std::to_string(k);
+      CheckSampleInvariants(context, g, labels);
+      CheckPartialLabeling(context, g, labels);
+    }
+  }
+}
+
+TEST(KOutSampling, LargerKImprovesCoverage) {
+  const Graph g = GenerateErdosRenyi(4096, 16384, 7);
+  double prev_coverage = 0.0;
+  for (uint32_t k : {1u, 4u}) {
+    KOutOptions options;
+    options.variant = KOutVariant::kPure;
+    options.k = k;
+    std::vector<NodeId> labels = IdentityLabels(g.num_nodes());
+    KOutSample(g, options, labels);
+    const SamplingQuality q = MeasureSamplingQuality(g, labels);
+    EXPECT_GE(q.coverage + 1e-9, prev_coverage) << "k=" << k;
+    prev_coverage = q.coverage;
+  }
+  EXPECT_GT(prev_coverage, 0.5);
+}
+
+TEST(BfsSampling, CoversTheMassiveComponent) {
+  const Graph g = GenerateRmat(4096, 32768, 9);
+  BfsSampleOptions options;
+  std::vector<NodeId> labels = IdentityLabels(g.num_nodes());
+  BfsSample(g, options, labels);
+  const SamplingQuality q = MeasureSamplingQuality(g, labels);
+  const ComponentStats truth =
+      ComputeComponentStats(SequentialComponents(g));
+  // BFS finds one entire component: coverage equals the largest component.
+  EXPECT_NEAR(q.coverage,
+              static_cast<double>(truth.largest_component) /
+                  static_cast<double>(g.num_nodes()),
+              1e-9);
+}
+
+TEST(BfsSampling, FailsGracefullyWhenNoMassiveComponent) {
+  // A graph of isolated vertices: every BFS covers ~nothing; labels must
+  // remain the identity.
+  const Graph g = BuildGraph(100, {{0, 1}});
+  BfsSampleOptions options;
+  options.coverage_threshold = 0.5;
+  options.max_tries = 3;
+  std::vector<NodeId> labels = IdentityLabels(g.num_nodes());
+  BfsSample(g, options, labels);
+  size_t non_identity = 0;
+  for (NodeId v = 0; v < 100; ++v) non_identity += (labels[v] != v);
+  EXPECT_LE(non_identity, 1u);  // at most the 0-1 pair collapsed
+}
+
+TEST(LddSampling, BetaControlsClusterCount) {
+  const Graph g = GenerateGrid(40, 40);
+  LddSampleOptions lo;
+  lo.beta = 0.05;
+  LddSampleOptions hi;
+  hi.beta = 0.9;
+  std::vector<NodeId> labels_lo = IdentityLabels(g.num_nodes());
+  std::vector<NodeId> labels_hi = IdentityLabels(g.num_nodes());
+  LddSample(g, lo, labels_lo);
+  LddSample(g, hi, labels_hi);
+  const SamplingQuality qlo = MeasureSamplingQuality(g, labels_lo);
+  const SamplingQuality qhi = MeasureSamplingQuality(g, labels_hi);
+  EXPECT_LT(qlo.num_clusters, qhi.num_clusters);
+  EXPECT_LE(qlo.intercomponent_fraction, qhi.intercomponent_fraction + 0.05);
+}
+
+TEST(MeasureSamplingQuality, IdentityAndFullLabelings) {
+  const Graph g = GeneratePath(10);
+  const std::vector<NodeId> identity = IdentityLabels(10);
+  const SamplingQuality qi = MeasureSamplingQuality(g, identity);
+  EXPECT_DOUBLE_EQ(qi.coverage, 0.1);
+  EXPECT_DOUBLE_EQ(qi.intercomponent_fraction, 1.0);
+  EXPECT_EQ(qi.num_clusters, 10u);
+  const std::vector<NodeId> full(10, 0);
+  const SamplingQuality qf = MeasureSamplingQuality(g, full);
+  EXPECT_DOUBLE_EQ(qf.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(qf.intercomponent_fraction, 0.0);
+}
+
+TEST(IdentifyFrequent, ExactFindsMajorityLabel) {
+  const std::vector<NodeId> labels = {3, 3, 3, 3, 7, 7, 1};
+  const FrequentResult r = IdentifyFrequentExact(labels);
+  EXPECT_EQ(r.label, 3u);
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_EQ(r.inspected, labels.size());
+}
+
+TEST(IdentifyFrequent, ExactTieBreaksBySmallestLabel) {
+  const FrequentResult r = IdentifyFrequentExact({9, 9, 2, 2});
+  EXPECT_EQ(r.label, 2u);
+}
+
+TEST(IdentifyFrequent, SampledAgreesOnDominantLabel) {
+  std::vector<NodeId> labels(100000, 5);
+  for (size_t i = 0; i < 1000; ++i) labels[i * 97 % labels.size()] = 9;
+  const FrequentResult exact = IdentifyFrequentExact(labels);
+  const FrequentResult sampled = IdentifyFrequentSampled(labels);
+  EXPECT_EQ(exact.label, sampled.label);
+  EXPECT_EQ(sampled.inspected, 1024u);
+}
+
+TEST(IdentifyFrequent, SmallInputsUseExactPath) {
+  const std::vector<NodeId> labels = {1, 1, 0};
+  const FrequentResult r = IdentifyFrequentSampled(labels, 1024);
+  EXPECT_EQ(r.label, 1u);
+  EXPECT_EQ(r.inspected, 3u);
+}
+
+TEST(IdentifyFrequent, EmptyLabels) {
+  EXPECT_EQ(IdentifyFrequentExact({}).label, kInvalidNode);
+  EXPECT_EQ(IdentifyFrequentSampled({}).label, kInvalidNode);
+}
+
+TEST(SkipMask, MarksFrequentVertices) {
+  const std::vector<NodeId> labels = {0, 0, 2, 2, 0};
+  const std::vector<uint8_t> skip = MakeSkipMask(labels, 0);
+  EXPECT_EQ(skip, (std::vector<uint8_t>{1, 1, 0, 0, 1}));
+  EXPECT_TRUE(MakeSkipMask(labels, kInvalidNode).empty());
+}
+
+TEST(ApplyArcRule, EachEdgeAppliedExactlyOnce) {
+  // For every (skip-u, skip-v) combination, exactly one orientation of a
+  // non-internal edge is applied.
+  for (int su = 0; su <= 1; ++su) {
+    for (int sv = 0; sv <= 1; ++sv) {
+      std::vector<uint8_t> skip = {static_cast<uint8_t>(su),
+                                   static_cast<uint8_t>(sv)};
+      const int applied =
+          (ApplyArc(0, 1, skip) ? 1 : 0) + (ApplyArc(1, 0, skip) ? 1 : 0);
+      if (su && sv) {
+        EXPECT_EQ(applied, 0) << su << sv;
+      } else {
+        EXPECT_EQ(applied, 1) << su << sv;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace connectit

@@ -1,0 +1,98 @@
+// Tests for the instrumentation counters (paper §4.1.1 analysis substrate).
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/unionfind/find.h"
+#include "src/graph/generators.h"
+#include "src/stats/counters.h"
+
+namespace connectit {
+namespace {
+
+TEST(Counters, DisabledByDefaultAndRecordNothing) {
+  stats::SetEnabled(false);
+  stats::Reset();
+  stats::RecordPath(10);
+  stats::RecordParentReads(5);
+  stats::RecordRound();
+  const stats::Snapshot s = stats::Read();
+  EXPECT_EQ(s.total_path_length, 0u);
+  EXPECT_EQ(s.parent_reads, 0u);
+  EXPECT_EQ(s.rounds, 0u);
+}
+
+TEST(Counters, RecordWhenEnabled) {
+  stats::ScopedEnable scope;
+  stats::RecordPath(10);
+  stats::RecordPath(3);
+  stats::RecordParentReads(5);
+  stats::RecordParentWrites(2);
+  stats::RecordRound();
+  const stats::Snapshot s = stats::Read();
+  EXPECT_EQ(s.total_path_length, 13u);
+  EXPECT_EQ(s.max_path_length, 10u);
+  EXPECT_EQ(s.parent_reads, 5u);
+  EXPECT_EQ(s.parent_writes, 2u);
+  EXPECT_EQ(s.rounds, 1u);
+}
+
+TEST(Counters, ScopedEnableRestoresState) {
+  stats::SetEnabled(false);
+  {
+    stats::ScopedEnable scope;
+    EXPECT_TRUE(stats::Enabled());
+  }
+  EXPECT_FALSE(stats::Enabled());
+}
+
+TEST(Counters, UnionFindRunsPopulateTplAndMpl) {
+  const Graph g = GenerateRmat(2048, 16384, 3);
+  const Variant* v = FindVariant("Union-Async;FindNaive");
+  ASSERT_NE(v, nullptr);
+  stats::ScopedEnable scope;
+  v->run(g, {});
+  const stats::Snapshot s = stats::Read();
+  EXPECT_GT(s.total_path_length, 0u);
+  EXPECT_GT(s.max_path_length, 0u);
+  EXPECT_GE(s.total_path_length, s.max_path_length);
+}
+
+TEST(Counters, CompressionReducesTotalPathLength) {
+  // Repeated finds on a deep chain: FindCompress flattens the chain so
+  // subsequent finds are O(1); FindNaive pays the full depth every time
+  // (the mechanism behind the paper's TPL analysis, Fig. 7).
+  constexpr NodeId kDepth = 4096;
+  auto make_chain = [] {
+    std::vector<NodeId> p(kDepth);
+    for (NodeId v = 0; v < kDepth; ++v) p[v] = (v == 0) ? 0 : v - 1;
+    return p;
+  };
+  uint64_t tpl_naive = 0;
+  uint64_t tpl_compress = 0;
+  {
+    std::vector<NodeId> p = make_chain();
+    stats::ScopedEnable scope;
+    for (int i = 0; i < 8; ++i) FindNaive(kDepth - 1, p.data());
+    tpl_naive = stats::Read().total_path_length;
+  }
+  {
+    std::vector<NodeId> p = make_chain();
+    stats::ScopedEnable scope;
+    for (int i = 0; i < 8; ++i) FindCompress(kDepth - 1, p.data());
+    tpl_compress = stats::Read().total_path_length;
+  }
+  EXPECT_LT(tpl_compress, tpl_naive / 2);
+}
+
+TEST(Counters, RoundBasedAlgorithmsCountRounds) {
+  const Graph g = GeneratePath(256);
+  const Variant* lt = FindVariant("Liu-Tarjan;PRF");
+  ASSERT_NE(lt, nullptr);
+  stats::ScopedEnable scope;
+  lt->run(g, {});
+  EXPECT_GT(stats::Read().rounds, 1u);
+}
+
+}  // namespace
+}  // namespace connectit

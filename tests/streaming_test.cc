@@ -1,0 +1,160 @@
+// Streaming (batch-incremental) correctness sweep (paper §3.5, Theorem 7):
+// after any prefix of insertion batches, the maintained labeling must equal
+// static connectivity over the inserted edges, and in-batch queries must be
+// consistent with the batch.
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/core/registry.h"
+#include "src/graph/generators.h"
+#include "src/parallel/random.h"
+
+namespace connectit {
+namespace {
+
+std::vector<std::string> StreamingNames() {
+  std::vector<std::string> names;
+  for (const Variant* v : StreamingVariants()) names.push_back(v->name);
+  return names;
+}
+
+class StreamingSweep : public ::testing::TestWithParam<std::string> {};
+
+std::string CaseName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+TEST_P(StreamingSweep, BatchesMatchStaticConnectivity) {
+  const Variant* variant = FindVariant(GetParam());
+  ASSERT_NE(variant, nullptr);
+  const NodeId n = 800;
+  const EdgeList stream = GenerateRmatEdges(n, 4000, 55);
+  auto alg = variant->make_streaming(n);
+  ASSERT_NE(alg, nullptr);
+
+  EdgeList applied;
+  applied.num_nodes = n;
+  const size_t batch_size = 500;
+  for (size_t start = 0; start < stream.size(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, stream.size());
+    const std::vector<Edge> batch(stream.edges.begin() + start,
+                                  stream.edges.begin() + end);
+    alg->ProcessBatch(batch, {});
+    applied.edges.insert(applied.edges.end(), batch.begin(), batch.end());
+    // After each batch the labeling equals static ground truth.
+    EXPECT_TRUE(
+        SamePartition(alg->Labels(), SequentialComponents(applied)))
+        << "after batch ending at " << end;
+  }
+}
+
+TEST_P(StreamingSweep, QueriesReflectCompletedBatches) {
+  const Variant* variant = FindVariant(GetParam());
+  ASSERT_NE(variant, nullptr);
+  const NodeId n = 200;
+  auto alg = variant->make_streaming(n);
+
+  // Build a path in two batches, probing connectivity between batches.
+  std::vector<Edge> first_half;
+  std::vector<Edge> second_half;
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    (v < n / 2 ? first_half : second_half).push_back({v, v + 1});
+  }
+  auto r0 = alg->ProcessBatch({}, {{0, n - 1}, {0, 0}});
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0], 0);  // nothing inserted yet
+  EXPECT_EQ(r0[1], 1);  // self-query
+
+  alg->ProcessBatch(first_half, {});
+  auto r1 = alg->ProcessBatch({}, {{0, n / 2}, {0, n - 1}});
+  EXPECT_EQ(r1[0], 1);
+  EXPECT_EQ(r1[1], 0);
+
+  alg->ProcessBatch(second_half, {});
+  auto r2 = alg->ProcessBatch({}, {{0, n - 1}});
+  EXPECT_EQ(r2[0], 1);
+}
+
+TEST_P(StreamingSweep, MixedUpdateQueryBatchesAreSane) {
+  const Variant* variant = FindVariant(GetParam());
+  ASSERT_NE(variant, nullptr);
+  const NodeId n = 500;
+  auto alg = variant->make_streaming(n);
+  Rng rng(5);
+  EdgeList applied;
+  applied.num_nodes = n;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Edge> updates;
+    std::vector<Edge> queries;
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t base = static_cast<uint64_t>(round) * 1000 + i;
+      updates.push_back(
+          {static_cast<NodeId>(rng.GetBounded(4 * base, n)),
+           static_cast<NodeId>(rng.GetBounded(4 * base + 1, n))});
+      queries.push_back(
+          {static_cast<NodeId>(rng.GetBounded(4 * base + 2, n)),
+           static_cast<NodeId>(rng.GetBounded(4 * base + 3, n))});
+    }
+    const std::vector<NodeId> before = alg->Labels();
+    const std::vector<uint8_t> results = alg->ProcessBatch(updates, queries);
+    applied.edges.insert(applied.edges.end(), updates.begin(), updates.end());
+    const std::vector<NodeId> after_truth = SequentialComponents(applied);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const Edge& e = queries[q];
+      const bool connected_before = (before[e.u] == before[e.v]);
+      const bool connected_after = (after_truth[e.u] == after_truth[e.v]);
+      // Linearizable within the batch: a query may observe any prefix of
+      // the batch's updates, so its answer is bracketed by the pre-batch
+      // and post-batch connectivity.
+      if (connected_before) {
+        EXPECT_EQ(results[q], 1) << "query " << q;
+      }
+      if (!connected_after) {
+        EXPECT_EQ(results[q], 0) << "query " << q;
+      }
+    }
+    // Post-batch labeling is exact.
+    EXPECT_TRUE(SamePartition(alg->Labels(), after_truth));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStreaming, StreamingSweep,
+                         ::testing::ValuesIn(StreamingNames()), CaseName);
+
+TEST(Streaming, EmptyBatchesAreNoOps) {
+  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  ASSERT_NE(v, nullptr);
+  auto alg = v->make_streaming(10);
+  EXPECT_TRUE(alg->ProcessBatch({}, {}).empty());
+  const auto labels = alg->Labels();
+  for (NodeId i = 0; i < 10; ++i) EXPECT_EQ(labels[i], i);
+}
+
+TEST(Streaming, SingleGiantBatchEqualsStatic) {
+  const NodeId n = 2000;
+  const EdgeList edges = GenerateErdosRenyiEdges(n, 6000, 3);
+  const std::vector<NodeId> truth = SequentialComponents(edges);
+  for (const char* name :
+       {"Union-Async;FindSplit", "Union-Hooks;FindHalve",
+        "Union-Rem-CAS;FindNaive;SpliceAtomic", "Shiloach-Vishkin",
+        "Liu-Tarjan;PRF"}) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr) << name;
+    auto alg = v->make_streaming(n);
+    alg->ProcessBatch(edges.edges, {});
+    EXPECT_TRUE(SamePartition(alg->Labels(), truth)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace connectit

@@ -1,0 +1,237 @@
+// Direct tests of the union-find building blocks: find/splice semantics,
+// unite behavior, forest invariants, and concurrent stress.
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/graph/generators.h"
+#include "src/parallel/random.h"
+#include "src/parallel/thread_pool.h"
+#include "src/unionfind/dsu.h"
+#include "src/unionfind/find.h"
+#include "src/unionfind/options.h"
+#include "src/unionfind/splice.h"
+
+namespace connectit {
+namespace {
+
+std::vector<NodeId> Chain(NodeId n) {
+  // Parent chain n-1 -> n-2 -> ... -> 0 (root).
+  std::vector<NodeId> p(n);
+  for (NodeId v = 0; v < n; ++v) p[v] = (v == 0) ? 0 : v - 1;
+  return p;
+}
+
+TEST(Find, AllVariantsReturnTheRoot) {
+  for (const FindOption f :
+       {FindOption::kNaive, FindOption::kSplit, FindOption::kHalve,
+        FindOption::kCompress, FindOption::kTwoTrySplit}) {
+    std::vector<NodeId> p = Chain(64);
+    EXPECT_EQ(FindDispatch(f, 63, p.data()), 0u) << ToString(f);
+    EXPECT_EQ(FindDispatch(f, 0, p.data()), 0u) << ToString(f);
+    // The forest stays a valid rooted forest afterward.
+    for (NodeId v = 0; v < 64; ++v) EXPECT_LE(p[v], v) << ToString(f);
+  }
+}
+
+TEST(Find, CompressFlattensPath) {
+  std::vector<NodeId> p = Chain(64);
+  FindCompress(63, p.data());
+  // Everything on the traversed path now points (near-)directly at root.
+  EXPECT_EQ(p[63], 0u);
+  EXPECT_EQ(p[62], 0u);
+}
+
+TEST(Find, SplitShortensPath) {
+  std::vector<NodeId> p = Chain(64);
+  FindAtomicSplit(63, p.data());
+  // Path split: each visited vertex points at its former grandparent.
+  EXPECT_EQ(p[63], 61u);
+  EXPECT_EQ(p[62], 60u);
+}
+
+TEST(Find, HalveShortensPath) {
+  std::vector<NodeId> p = Chain(64);
+  FindAtomicHalve(63, p.data());
+  EXPECT_EQ(p[63], 61u);
+  EXPECT_EQ(p[61], 59u);
+  EXPECT_EQ(p[62], 61u);  // skipped vertices untouched
+}
+
+TEST(Splice, SplitAtomicOneStepsAndSplits) {
+  std::vector<NodeId> p = Chain(8);
+  const NodeId next = SplitAtomicOne(7, /*other=*/0, p.data());
+  EXPECT_EQ(next, 6u);   // returns previous parent
+  EXPECT_EQ(p[7], 5u);   // spliced to grandparent
+}
+
+TEST(Splice, HalveAtomicOneReturnsGrandparent) {
+  std::vector<NodeId> p = Chain(8);
+  const NodeId next = HalveAtomicOne(7, 0, p.data());
+  EXPECT_EQ(next, 5u);
+  EXPECT_EQ(p[7], 5u);
+}
+
+TEST(Splice, SpliceAtomicRedirectsUnderOtherTree) {
+  // u's parent (6) is larger than other's parent (1): splice points u at 1.
+  std::vector<NodeId> p = {0, 0, 1, 2, 3, 4, 5, 6};
+  const NodeId prev = SpliceAtomic(7, /*other=*/2, p.data());
+  EXPECT_EQ(prev, 6u);
+  EXPECT_EQ(p[7], 1u);
+}
+
+template <typename DsuT>
+void ExerciseBasicUnite() {
+  std::vector<NodeId> p(10);
+  std::iota(p.begin(), p.end(), NodeId{0});
+  DsuT dsu(p.data(), 10);
+  EXPECT_NE(dsu.Unite(3, 7), kInvalidNode);
+  EXPECT_TRUE(dsu.SameSet(3, 7));
+  EXPECT_FALSE(dsu.SameSet(3, 4));
+  // Re-uniting connected endpoints is a no-op.
+  EXPECT_EQ(dsu.Unite(3, 7), kInvalidNode);
+  EXPECT_NE(dsu.Unite(7, 4), kInvalidNode);
+  EXPECT_TRUE(dsu.SameSet(4, 3));
+  // Self-union never links.
+  EXPECT_EQ(dsu.Unite(5, 5), kInvalidNode);
+}
+
+TEST(Dsu, BasicUniteSemanticsAcrossUniteOptions) {
+  ExerciseBasicUnite<Dsu<UniteOption::kAsync, FindOption::kCompress>>();
+  ExerciseBasicUnite<Dsu<UniteOption::kHooks, FindOption::kSplit>>();
+  ExerciseBasicUnite<Dsu<UniteOption::kEarly, FindOption::kNaive>>();
+  ExerciseBasicUnite<Dsu<UniteOption::kJtb, FindOption::kTwoTrySplit>>();
+  ExerciseBasicUnite<Dsu<UniteOption::kRemCas, FindOption::kNaive,
+                         SpliceOption::kSplitOne>>();
+  ExerciseBasicUnite<Dsu<UniteOption::kRemLock, FindOption::kHalve,
+                         SpliceOption::kHalveOne>>();
+}
+
+TEST(Dsu, HookedRootIsUniquePerUnite) {
+  // Each successful unite returns a vertex that was a root and gets hooked
+  // exactly once across the whole execution.
+  std::vector<NodeId> p(100);
+  std::iota(p.begin(), p.end(), NodeId{0});
+  Dsu<UniteOption::kAsync, FindOption::kHalve> dsu(p.data(), 100);
+  std::vector<int> hooked(100, 0);
+  Rng rng(4);
+  for (uint64_t i = 0; i < 500; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.GetBounded(2 * i, 100));
+    const NodeId v = static_cast<NodeId>(rng.GetBounded(2 * i + 1, 100));
+    const NodeId h = dsu.Unite(u, v);
+    if (h != kInvalidNode) hooked[h]++;
+  }
+  for (NodeId v = 0; v < 100; ++v) EXPECT_LE(hooked[v], 1) << v;
+}
+
+template <typename DsuT>
+void ConcurrentStress(const char* name) {
+  const NodeId n = 4096;
+  const EdgeList edges = GenerateErdosRenyiEdges(n, 3 * n, 77);
+  std::vector<NodeId> p(n);
+  std::iota(p.begin(), p.end(), NodeId{0});
+  DsuT dsu(p.data(), n);
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    dsu.Unite(edges.edges[i].u, edges.edges[i].v);
+  });
+  FullyCompressParents(p.data(), n);
+  // Compare against sequential ground truth.
+  const std::vector<NodeId> truth = SequentialComponents(edges);
+  ASSERT_EQ(truth.size(), p.size());
+  // Partition equivalence via canonicalization of roots.
+  std::vector<NodeId> canon_mine(n), canon_truth(n);
+  {
+    std::vector<NodeId> min_of(n, kInvalidNode);
+    for (NodeId v = 0; v < n; ++v) min_of[p[v]] = std::min(min_of[p[v]], v);
+    for (NodeId v = 0; v < n; ++v) canon_mine[v] = min_of[p[v]];
+  }
+  EXPECT_EQ(canon_mine, truth) << name;
+}
+
+TEST(Dsu, ConcurrentUnionsMatchGroundTruth) {
+  ConcurrentStress<Dsu<UniteOption::kAsync, FindOption::kNaive>>("async");
+  ConcurrentStress<Dsu<UniteOption::kHooks, FindOption::kCompress>>("hooks");
+  ConcurrentStress<Dsu<UniteOption::kEarly, FindOption::kSplit>>("early");
+  ConcurrentStress<Dsu<UniteOption::kJtb, FindOption::kTwoTrySplit>>("jtb");
+  ConcurrentStress<
+      Dsu<UniteOption::kRemCas, FindOption::kNaive, SpliceOption::kSplitOne>>(
+      "rem-cas-split");
+  ConcurrentStress<
+      Dsu<UniteOption::kRemCas, FindOption::kNaive, SpliceOption::kSplice>>(
+      "rem-cas-splice");
+  ConcurrentStress<Dsu<UniteOption::kRemLock, FindOption::kNaive,
+                       SpliceOption::kHalveOne>>("rem-lock-halve");
+}
+
+TEST(Dsu, ForestStaysAcyclicAndValueMonotone) {
+  // For ID-linking variants, parents never exceed the vertex id.
+  const NodeId n = 1024;
+  const EdgeList edges = GenerateRmatEdges(n, 4096, 31);
+  std::vector<NodeId> p(n);
+  std::iota(p.begin(), p.end(), NodeId{0});
+  Dsu<UniteOption::kRemCas, FindOption::kSplit, SpliceOption::kSplitOne> dsu(
+      p.data(), n);
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    Edge e = edges.edges[i];
+    e.u %= n;
+    e.v %= n;
+    dsu.Unite(e.u, e.v);
+  });
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(p[v], v) << v;
+    // No 2-cycles (acyclicity spot check).
+    if (p[v] != v) {
+      EXPECT_NE(p[p[v]], v);
+    }
+  }
+}
+
+TEST(Dsu, PhaseConcurrentRemSpliceFindsAfterBarrier) {
+  // Rem + SpliceAtomic is only phase-concurrent: unions, barrier, finds.
+  const NodeId n = 512;
+  const EdgeList edges = GenerateErdosRenyiEdges(n, 2 * n, 3);
+  std::vector<NodeId> p(n);
+  std::iota(p.begin(), p.end(), NodeId{0});
+  Dsu<UniteOption::kRemCas, FindOption::kHalve, SpliceOption::kSplice> dsu(
+      p.data(), n);
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    dsu.Unite(edges.edges[i].u, edges.edges[i].v);
+  });
+  const std::vector<NodeId> truth = SequentialComponents(edges);
+  std::vector<uint8_t> ok(n, 0);
+  ParallelFor(0, n, [&](size_t v) {
+    const NodeId r = dsu.Find(static_cast<NodeId>(v));
+    ok[v] = (r == dsu.Find(truth[v]));
+  });
+  for (NodeId v = 0; v < n; ++v) EXPECT_TRUE(ok[v]) << v;
+}
+
+TEST(Options, InvalidCombinationsRejected) {
+  EXPECT_FALSE(IsValidCombination(UniteOption::kRemCas, FindOption::kCompress,
+                                  SpliceOption::kSplice));
+  EXPECT_TRUE(IsValidCombination(UniteOption::kRemCas, FindOption::kCompress,
+                                 SpliceOption::kSplitOne));
+  EXPECT_FALSE(IsValidCombination(UniteOption::kAsync, FindOption::kNaive,
+                                  SpliceOption::kSplitOne));
+  EXPECT_FALSE(IsValidCombination(UniteOption::kRemLock, FindOption::kNaive,
+                                  SpliceOption::kNone));
+  EXPECT_FALSE(IsValidCombination(UniteOption::kJtb, FindOption::kSplit,
+                                  SpliceOption::kNone));
+  EXPECT_TRUE(IsValidCombination(UniteOption::kJtb, FindOption::kTwoTrySplit,
+                                 SpliceOption::kNone));
+  EXPECT_FALSE(IsValidCombination(UniteOption::kAsync,
+                                  FindOption::kTwoTrySplit,
+                                  SpliceOption::kNone));
+}
+
+TEST(FullyCompress, FlattensArbitraryForest) {
+  std::vector<NodeId> p = Chain(100);
+  FullyCompressParents(p.data(), 100);
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(p[v], 0u);
+}
+
+}  // namespace
+}  // namespace connectit
