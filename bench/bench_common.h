@@ -18,12 +18,27 @@
 
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
+#include "src/graph/graph_handle.h"
 
 namespace connectit::bench {
 
 inline bool LargeScale() {
   const char* env = std::getenv("CONNECTIT_BENCH_SCALE");
   return env != nullptr && std::strcmp(env, "large") == 0;
+}
+
+// CONNECTIT_BENCH_REPR=compressed runs registry-driven benches on the
+// byte-coded representation instead of plain CSR — same variants, same
+// sweep, different GraphHandle.
+inline bool CompressedRepr() {
+  const char* env = std::getenv("CONNECTIT_BENCH_REPR");
+  return env != nullptr && std::strcmp(env, "compressed") == 0;
+}
+
+// The handle a registry-driven bench should pass to Variant::run for this
+// suite graph: a plain view, or an owning byte-coded encoding of it.
+inline GraphHandle MakeBenchHandle(const Graph& graph) {
+  return CompressedRepr() ? GraphHandle::Compress(graph) : GraphHandle(graph);
 }
 
 // Wall-clock seconds for one invocation of fn.

@@ -17,8 +17,13 @@ namespace {
 
 using namespace connectit;
 
-void RunHeatmap(const std::vector<bench::BenchGraph>& suite,
-                SamplingOption sampling, const char* title) {
+struct BenchInput {
+  std::string name;
+  GraphHandle handle;
+};
+
+void RunHeatmap(const std::vector<BenchInput>& suite, SamplingOption sampling,
+                const char* title) {
   SamplingConfig config;
   config.option = sampling;
 
@@ -32,7 +37,7 @@ void RunHeatmap(const std::vector<bench::BenchGraph>& suite,
   for (const Variant* v : VariantsOfFamily(AlgorithmFamily::kUnionFind)) {
     std::vector<double>& row = variant_times[v->name];
     for (const auto& bg : suite) {
-      row.push_back(bench::TimeBest([&] { v->run(bg.graph, config); }, 2));
+      row.push_back(bench::TimeBest([&] { v->run(bg.handle, config); }, 2));
     }
   }
   // Per-graph minimum, then relative slowdowns averaged geometrically.
@@ -74,7 +79,16 @@ void RunHeatmap(const std::vector<bench::BenchGraph>& suite,
 }  // namespace
 
 int main() {
-  const auto suite = bench::SmallSuite();
+  // The sweep is representation-generic: each suite graph becomes one
+  // GraphHandle (plain CSR, or byte-coded under
+  // CONNECTIT_BENCH_REPR=compressed) and every variant runs through it.
+  const auto graphs = bench::SmallSuite();
+  std::vector<BenchInput> suite;
+  for (const auto& bg : graphs) {
+    suite.push_back({bg.name, bench::MakeBenchHandle(bg.graph)});
+  }
+  std::printf("representation: %s\n",
+              suite.empty() ? "csr" : suite.front().handle.representation_name());
   RunHeatmap(suite, SamplingOption::kNone,
              "Figure 3: union-find slowdowns vs fastest (No Sampling)");
   RunHeatmap(suite, SamplingOption::kKOut,

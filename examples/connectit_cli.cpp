@@ -1,12 +1,16 @@
 // Command-line connectivity tool: the "downstream user" entry point.
 //
 // Usage:
-//   connectit_cli <edge-list-file> [variant] [sampling]
-//   connectit_cli --generate <rmat|grid|ba|er> <n> [variant] [sampling]
+//   connectit_cli [--compressed] <edge-list-file> [variant] [sampling]
+//   connectit_cli [--compressed] --generate <rmat|grid|ba|er> <n> [variant]
+//                 [sampling]
 //   connectit_cli --list
 //
 // variant:  any registry name (default Union-Rem-CAS;FindNaive;SplitAtomicOne)
 // sampling: none | kout | bfs | ldd   (default kout)
+// --compressed: byte-code the graph and run connectivity directly on the
+//               compressed representation (same variant space; the registry
+//               dispatches on the GraphHandle).
 //
 // Prints component statistics and, for road-style workflows, writes the
 // densely renumbered component id per vertex to stdout with --labels.
@@ -19,7 +23,9 @@
 #include "src/core/components.h"
 #include "src/core/registry.h"
 #include "src/graph/builder.h"
+#include "src/graph/compressed.h"
 #include "src/graph/generators.h"
+#include "src/graph/graph_handle.h"
 #include "src/graph/io.h"
 
 namespace {
@@ -35,9 +41,10 @@ SamplingConfig ParseSampling(const std::string& name) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: connectit_cli <edge-list-file> [variant] [sampling]\n"
-               "       connectit_cli --generate <rmat|grid|ba|er> <n> "
+               "usage: connectit_cli [--compressed] <edge-list-file> "
                "[variant] [sampling]\n"
+               "       connectit_cli [--compressed] --generate "
+               "<rmat|grid|ba|er> <n> [variant] [sampling]\n"
                "       connectit_cli --list\n");
   return 2;
 }
@@ -45,6 +52,17 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the representation flag wherever it appears.
+  bool compressed = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compressed") == 0) {
+      compressed = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   if (argc < 2) return Usage();
 
   if (std::strcmp(argv[1], "--list") == 0) {
@@ -94,11 +112,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("graph: n=%u, m=%llu\n", graph.num_nodes(),
-              static_cast<unsigned long long>(graph.num_edges()));
+  const GraphHandle handle =
+      compressed ? GraphHandle::Compress(graph) : GraphHandle(graph);
+  std::printf("graph: n=%u, m=%llu, representation=%s\n", handle.num_nodes(),
+              static_cast<unsigned long long>(handle.num_edges()),
+              handle.representation_name());
+  if (compressed) {
+    std::printf("byte-coded size: %zu bytes (raw CSR edges: %zu)\n",
+                handle.compressed()->byte_size(),
+                static_cast<size_t>(graph.num_arcs()) * sizeof(NodeId));
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<NodeId> labels =
-      variant->run(graph, ParseSampling(sampling_name));
+      variant->run(handle, ParseSampling(sampling_name));
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -5,7 +5,9 @@
 //   graph_tool generate <rmat|grid|ba|er|mixture> <n> <out.el|out.bin>
 //   graph_tool convert <in.el> <out.bin>          (text -> binary CSR)
 //   graph_tool stats <in.el|in.bin>
-//   graph_tool compress <in.el|in.bin>            (report byte-code sizes)
+//   graph_tool compress <in.el|in.bin>            (report byte-code sizes and
+//                                                  check CSR/compressed
+//                                                  connectivity parity)
 
 #include <cmath>
 #include <cstdio>
@@ -13,9 +15,11 @@
 #include <string>
 
 #include "src/algo/verify.h"
+#include "src/core/registry.h"
 #include "src/graph/builder.h"
 #include "src/graph/compressed.h"
 #include "src/graph/generators.h"
+#include "src/graph/graph_handle.h"
 #include "src/graph/io.h"
 
 namespace {
@@ -121,13 +125,25 @@ int main(int argc, char** argv) {
   }
 
   if (command == "compress") {
-    const CompressedGraph cg = CompressedGraph::Encode(graph);
+    const GraphHandle coded = GraphHandle::Compress(graph);
     const size_t raw = graph.num_arcs() * sizeof(NodeId);
     std::printf("raw CSR edges : %zu bytes\n", raw);
-    std::printf("byte-coded    : %zu bytes (%.2fx)\n", cg.byte_size(),
+    std::printf("byte-coded    : %zu bytes (%.2fx)\n",
+                coded.compressed()->byte_size(),
                 static_cast<double>(raw) /
-                    static_cast<double>(cg.byte_size()));
-    return 0;
+                    static_cast<double>(coded.compressed()->byte_size()));
+    // Sanity: the registry must produce the same partition on both
+    // representations of this graph.
+    const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+    if (v == nullptr) {
+      std::fprintf(stderr, "error: default variant missing from registry\n");
+      return 1;
+    }
+    const bool parity = SamePartition(v->run(GraphHandle(graph), {}),
+                                      v->run(coded, {}));
+    std::printf("csr/compressed connectivity parity: %s\n",
+                parity ? "ok" : "MISMATCH");
+    return parity ? 0 : 1;
   }
   return Usage();
 }

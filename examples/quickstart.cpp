@@ -6,7 +6,9 @@
 #include <cstdio>
 
 #include "src/core/connectit.h"
+#include "src/core/registry.h"
 #include "src/graph/builder.h"
+#include "src/graph/graph_handle.h"
 
 int main() {
   using namespace connectit;
@@ -39,5 +41,15 @@ int main() {
   const SpanningForestResult forest = RunSpanningForest<Algorithm>(graph);
   std::printf("\nspanning forest (%zu edges):\n", forest.edges.size());
   for (const Edge& e : forest.edges) std::printf("  {%u, %u}\n", e.u, e.v);
+
+  // The same algorithm through the runtime registry, which is
+  // representation-generic: a GraphHandle runs any registered variant on
+  // plain CSR, the byte-compressed format, or COO input.
+  const Variant* variant =
+      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  const std::vector<NodeId> coded_labels =
+      variant->run(GraphHandle::Compress(graph), SamplingConfig::KOut());
+  std::printf("\nsame labels on the byte-compressed representation: %s\n",
+              coded_labels == labels ? "true" : "false");
   return 0;
 }

@@ -6,6 +6,25 @@ namespace connectit {
 
 namespace {
 
+// Per-representation instantiation of the templated framework: each
+// registered closure accepts the type-erased GraphHandle and dispatches to
+// RunConnectivity/RunSpanningForest<Finish> for the concrete representation.
+template <typename Finish>
+std::vector<NodeId> RunOnHandle(const GraphHandle& handle,
+                                const SamplingConfig& sampling) {
+  return handle.Visit([&](const auto& graph) {
+    return RunConnectivity<Finish>(graph, sampling);
+  });
+}
+
+template <typename Finish>
+SpanningForestResult RunForestOnHandle(const GraphHandle& handle,
+                                       const SamplingConfig& sampling) {
+  return handle.Visit([&](const auto& graph) {
+    return RunSpanningForest<Finish>(graph, sampling);
+  });
+}
+
 // ---- union-find registration ----
 
 template <UniteOption kU, FindOption kF, SpliceOption kS>
@@ -26,12 +45,8 @@ Variant MakeUfVariant() {
   v.root_based = true;
   v.supports_streaming = true;
   using Finish = UnionFindFinish<kU, kF, kS>;
-  v.run = [](const Graph& g, const SamplingConfig& sc) {
-    return RunConnectivity<Finish>(g, sc);
-  };
-  v.run_forest = [](const Graph& g, const SamplingConfig& sc) {
-    return RunSpanningForest<Finish>(g, sc);
-  };
+  v.run = RunOnHandle<Finish>;
+  v.run_forest = RunForestOnHandle<Finish>;
   v.make_streaming = [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
     return std::make_unique<UnionFindStreaming<kU, kF, kS>>(n);
   };
@@ -47,13 +62,9 @@ Variant MakeLtVariant() {
   v.family = AlgorithmFamily::kLiuTarjan;
   v.root_based = (kU == LtUpdate::kRootUp);
   using Finish = LiuTarjanFinish<kC, kU, kS, kA>;
-  v.run = [](const Graph& g, const SamplingConfig& sc) {
-    return RunConnectivity<Finish>(g, sc);
-  };
+  v.run = RunOnHandle<Finish>;
   if constexpr (kU == LtUpdate::kRootUp) {
-    v.run_forest = [](const Graph& g, const SamplingConfig& sc) {
-      return RunSpanningForest<Finish>(g, sc);
-    };
+    v.run_forest = RunForestOnHandle<Finish>;
     v.supports_streaming = true;
     v.make_streaming =
         [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
@@ -118,12 +129,8 @@ std::vector<Variant> BuildRegistry() {
     v.family = AlgorithmFamily::kShiloachVishkin;
     v.root_based = true;
     v.supports_streaming = true;
-    v.run = [](const Graph& g, const SamplingConfig& sc) {
-      return RunConnectivity<ShiloachVishkinFinish>(g, sc);
-    };
-    v.run_forest = [](const Graph& g, const SamplingConfig& sc) {
-      return RunSpanningForest<ShiloachVishkinFinish>(g, sc);
-    };
+    v.run = RunOnHandle<ShiloachVishkinFinish>;
+    v.run_forest = RunForestOnHandle<ShiloachVishkinFinish>;
     v.make_streaming =
         [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
       return std::make_unique<ShiloachVishkinStreaming>(n);
@@ -159,9 +166,7 @@ std::vector<Variant> BuildRegistry() {
     v.name = "Stergiou";
     v.group = "Stergiou";
     v.family = AlgorithmFamily::kStergiou;
-    v.run = [](const Graph& g, const SamplingConfig& sc) {
-      return RunConnectivity<StergiouFinish>(g, sc);
-    };
+    v.run = RunOnHandle<StergiouFinish>;
     variants.push_back(std::move(v));
   }
 
@@ -171,9 +176,7 @@ std::vector<Variant> BuildRegistry() {
     v.name = "Label-Propagation";
     v.group = "Label-Propagation";
     v.family = AlgorithmFamily::kLabelPropagation;
-    v.run = [](const Graph& g, const SamplingConfig& sc) {
-      return RunConnectivity<LabelPropFinish>(g, sc);
-    };
+    v.run = RunOnHandle<LabelPropFinish>;
     variants.push_back(std::move(v));
   }
 

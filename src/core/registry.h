@@ -12,6 +12,13 @@
 //   "Liu-Tarjan;PRF"                           (Appendix D variant codes)
 //   "Stergiou"  "Label-Propagation"
 // Sampling is orthogonal: pass any SamplingConfig to run/run_forest.
+//
+// The graph representation is orthogonal too: run/run_forest take a
+// type-erased GraphHandle (graph_handle.h), so every variant executes
+// uniformly on plain CSR, byte-compressed CSR, or (materialized) COO input;
+// the templated finish adapters are instantiated per representation behind
+// GraphHandle::Visit. A `const Graph&` still works at every call site via
+// GraphHandle's implicit view conversion.
 
 #ifndef CONNECTIT_CORE_REGISTRY_H_
 #define CONNECTIT_CORE_REGISTRY_H_
@@ -25,7 +32,7 @@
 #include "src/core/connectit.h"
 #include "src/core/options.h"
 #include "src/core/streaming.h"
-#include "src/graph/csr.h"
+#include "src/graph/graph_handle.h"
 #include "src/unionfind/options.h"
 
 namespace connectit {
@@ -48,9 +55,10 @@ struct Variant {
   bool root_based = false;
   bool supports_streaming = false;
 
-  std::function<std::vector<NodeId>(const Graph&, const SamplingConfig&)> run;
+  std::function<std::vector<NodeId>(const GraphHandle&, const SamplingConfig&)>
+      run;
   // Null unless root_based.
-  std::function<SpanningForestResult(const Graph&, const SamplingConfig&)>
+  std::function<SpanningForestResult(const GraphHandle&, const SamplingConfig&)>
       run_forest;
   // Null unless supports_streaming.
   std::function<std::unique_ptr<StreamingConnectivity>(NodeId)>

@@ -20,6 +20,7 @@
 #include "src/core/connectit.h"
 #include "src/graph/types.h"
 #include "src/liutarjan/liu_tarjan.h"
+#include "src/parallel/atomics.h"
 #include "src/parallel/thread_pool.h"
 #include "src/sv/shiloach_vishkin.h"
 #include "src/unionfind/dsu.h"
@@ -160,10 +161,19 @@ class LiuTarjanStreaming final : public StreamingConnectivity {
       // across batches).
       std::vector<Edge> edges(updates.size());
       ParallelFor(0, updates.size(), [&](size_t i) {
+        // Wait-free root walks (same discipline as SameSetByWalk): the
+        // parallel walks race only with each other, and parents only ever
+        // move toward roots, so acquire loads suffice.
         NodeId ru = updates[i].u;
-        while (labels_[ru] != ru) ru = labels_[ru];
+        for (NodeId p = AtomicLoad(&labels_[ru]); p != ru;
+             p = AtomicLoad(&labels_[ru])) {
+          ru = p;
+        }
         NodeId rv = updates[i].v;
-        while (labels_[rv] != rv) rv = labels_[rv];
+        for (NodeId p = AtomicLoad(&labels_[rv]); p != rv;
+             p = AtomicLoad(&labels_[rv])) {
+          rv = p;
+        }
         edges[i] = {ru, rv};
       });
       LiuTarjan<kConnect, LtUpdate::kRootUp, kShortcut, kAlter> lt;

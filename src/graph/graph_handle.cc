@@ -1,0 +1,44 @@
+#include "src/graph/graph_handle.h"
+
+#include "src/graph/builder.h"
+
+namespace connectit {
+
+const char* ToString(GraphRepresentation rep) {
+  switch (rep) {
+    case GraphRepresentation::kCsr: return "csr";
+    case GraphRepresentation::kCompressed: return "compressed";
+  }
+  return "unknown";
+}
+
+GraphHandle GraphHandle::Adopt(Graph graph) {
+  GraphHandle handle;
+  auto owned = std::make_shared<Graph>(std::move(graph));
+  handle.csr_ = owned.get();
+  handle.owned_ = std::move(owned);
+  return handle;
+}
+
+GraphHandle GraphHandle::Adopt(CompressedGraph graph) {
+  GraphHandle handle;
+  auto owned = std::make_shared<CompressedGraph>(std::move(graph));
+  handle.compressed_ = owned.get();
+  handle.owned_ = std::move(owned);
+  return handle;
+}
+
+GraphHandle GraphHandle::FromEdges(const EdgeList& edges) {
+  return Adopt(BuildGraph(edges));
+}
+
+GraphHandle GraphHandle::Compress(const Graph& graph) {
+  return Adopt(CompressedGraph::Encode(graph));
+}
+
+const Graph& GraphHandle::EmptyGraph() {
+  static const Graph* empty = new Graph();
+  return *empty;
+}
+
+}  // namespace connectit

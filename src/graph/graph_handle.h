@@ -1,0 +1,109 @@
+// Representation-generic graph handle (paper §2 "Data Format").
+//
+// ConnectIt treats plain CSR, byte-compressed CSR, and COO edge lists as
+// first-class inputs: every sampling and finish method is a template over
+// the representation's MapNeighbors/MapArcs/MapArcsIf/NeighborAt surface.
+// GraphHandle is the type-erased seam between that compile-time genericity
+// and the runtime registry: a Variant::run accepts a GraphHandle, and the
+// registry instantiates the templated framework once per representation
+// behind Visit().
+//
+// A handle is either a *view* (non-owning; the caller keeps the graph
+// alive, as when benches iterate a pre-built suite) or *owning* (the handle
+// holds the representation via shared_ptr, so handles are cheap to copy and
+// safe to return). COO input is materialized to CSR at construction —
+// adjacency-free edge lists cannot serve MapNeighbors/NeighborAt, which the
+// sampling phase requires; COO-native Liu-Tarjan registry rows are a
+// ROADMAP follow-up.
+
+#ifndef CONNECTIT_GRAPH_GRAPH_HANDLE_H_
+#define CONNECTIT_GRAPH_GRAPH_HANDLE_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/graph/compressed.h"
+#include "src/graph/coo.h"
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+
+namespace connectit {
+
+enum class GraphRepresentation {
+  kCsr,
+  kCompressed,
+};
+
+const char* ToString(GraphRepresentation rep);
+
+class GraphHandle {
+ public:
+  // An empty handle behaves as the 0-vertex CSR graph.
+  GraphHandle() = default;
+
+  // Non-owning views. Implicit by design: every pre-refactor call site that
+  // passed `const Graph&` to Variant::run keeps working unchanged.
+  GraphHandle(const Graph& graph) : csr_(&graph) {}
+  GraphHandle(const CompressedGraph& graph) : compressed_(&graph) {}
+
+  // A view of a temporary would dangle immediately; use Adopt/Compress for
+  // rvalues.
+  GraphHandle(Graph&&) = delete;
+  GraphHandle(CompressedGraph&&) = delete;
+
+  // Owning handles (the representation lives as long as any copy).
+  static GraphHandle Adopt(Graph graph);
+  static GraphHandle Adopt(CompressedGraph graph);
+
+  // COO input: symmetrizes/dedups through BuildGraph and owns the CSR.
+  static GraphHandle FromEdges(const EdgeList& edges);
+
+  // Byte-compresses a CSR graph and owns the result.
+  static GraphHandle Compress(const Graph& graph);
+
+  GraphRepresentation representation() const {
+    return compressed_ != nullptr ? GraphRepresentation::kCompressed
+                                  : GraphRepresentation::kCsr;
+  }
+  const char* representation_name() const {
+    return ToString(representation());
+  }
+
+  // The underlying representation, or nullptr when the handle wraps the
+  // other one. Use Visit for representation-generic code.
+  const Graph* csr() const { return csr_; }
+  const CompressedGraph* compressed() const { return compressed_; }
+
+  // Invokes `visitor` with the concrete representation (`const Graph&` or
+  // `const CompressedGraph&`). This is the single dispatch point the
+  // registry uses to instantiate the templated framework per representation.
+  template <typename Visitor>
+  decltype(auto) Visit(Visitor&& visitor) const {
+    if (compressed_ != nullptr) return visitor(*compressed_);
+    if (csr_ != nullptr) return visitor(*csr_);
+    return visitor(EmptyGraph());
+  }
+
+  NodeId num_nodes() const {
+    return Visit([](const auto& g) { return g.num_nodes(); });
+  }
+  EdgeId num_arcs() const {
+    return Visit([](const auto& g) { return g.num_arcs(); });
+  }
+  EdgeId num_edges() const {
+    return Visit([](const auto& g) { return g.num_edges(); });
+  }
+
+ private:
+  static const Graph& EmptyGraph();
+
+  const Graph* csr_ = nullptr;
+  const CompressedGraph* compressed_ = nullptr;
+  // Set only for owning handles; keeps whichever representation the raw
+  // pointers reference alive across copies.
+  std::shared_ptr<const void> owned_;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_GRAPH_GRAPH_HANDLE_H_

@@ -48,6 +48,21 @@ TEST(Properties, DeterministicAcrossReruns) {
   }
 }
 
+TEST(Properties, PartitionInvariantUnderRepresentation) {
+  // Composition-independence extends to the graph representation: the same
+  // variant through a compressed GraphHandle yields the same partition
+  // (exhaustive sweep in representation_parity_test; this is the
+  // property-level statement for the paper rows).
+  const Graph graph = GenerateRmat(4096, 16384, 5);
+  const GraphHandle coded = GraphHandle::Compress(graph);
+  const std::vector<NodeId> truth = SequentialComponents(graph);
+  for (const AlgorithmRow& row : PaperAlgorithmRows()) {
+    const Variant* v = row.variants.front();
+    EXPECT_TRUE(SamePartition(v->run(coded, SamplingConfig::KOut()), truth))
+        << row.name << " (" << v->name << ")";
+  }
+}
+
 TEST(Properties, PartitionInvariantUnderThreadCount) {
   const size_t original = NumWorkers();
   const Graph graph = GenerateErdosRenyi(4096, 16384, 9);

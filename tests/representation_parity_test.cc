@@ -1,0 +1,178 @@
+// CSR vs byte-compressed parity: every registered variant, under every
+// sampling scheme, must produce the identical canonical labeling on the
+// plain and compressed representations of the same graph. This is the
+// acceptance gate for the type-erased GraphHandle seam: compressed inputs
+// are not a special case anywhere in the variant space.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/core/registry.h"
+#include "src/graph/compressed.h"
+#include "src/graph/graph_handle.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+struct RepresentationPair {
+  std::string name;
+  Graph graph;
+  CompressedGraph compressed;
+};
+
+// Each basket graph encoded once, shared by the whole sweep.
+const std::vector<RepresentationPair>& Basket() {
+  static const std::vector<RepresentationPair>* basket = [] {
+    auto* out = new std::vector<RepresentationPair>();
+    for (auto& [name, graph] : testing::CorrectnessBasket()) {
+      CompressedGraph compressed = CompressedGraph::Encode(graph);
+      out->push_back({name, std::move(graph), std::move(compressed)});
+    }
+    return out;
+  }();
+  return *basket;
+}
+
+struct SweepCase {
+  std::string variant;
+  SamplingOption sampling;
+};
+
+std::vector<SweepCase> AllCases() {
+  std::vector<SweepCase> cases;
+  for (const Variant& v : AllVariants()) {
+    for (const SamplingOption s :
+         {SamplingOption::kNone, SamplingOption::kKOut, SamplingOption::kBfs,
+          SamplingOption::kLdd}) {
+      cases.push_back({v.name, s});
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name =
+      info.param.variant + "_" + std::string(ToString(info.param.sampling));
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class RepresentationParity : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RepresentationParity, CsrAndCompressedLabelingsMatch) {
+  const SweepCase& param = GetParam();
+  const Variant* variant = FindVariant(param.variant);
+  ASSERT_NE(variant, nullptr);
+  SamplingConfig config;
+  config.option = param.sampling;
+  for (const RepresentationPair& rep : Basket()) {
+    const GraphHandle plain(rep.graph);
+    const GraphHandle coded(rep.compressed);
+    ASSERT_EQ(coded.representation(), GraphRepresentation::kCompressed);
+    const std::vector<NodeId> csr_labels =
+        CanonicalizeLabels(variant->run(plain, config));
+    const std::vector<NodeId> compressed_labels =
+        CanonicalizeLabels(variant->run(coded, config));
+    EXPECT_EQ(csr_labels, compressed_labels)
+        << "variant=" << param.variant
+        << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAllSampling, RepresentationParity,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// Spanning forest through a compressed handle is a valid forest of the
+// underlying graph.
+TEST(RepresentationParity, ForestOnCompressedHandle) {
+  for (const Variant* v : RootBasedVariants()) {
+    if (v->family != AlgorithmFamily::kUnionFind &&
+        v->family != AlgorithmFamily::kShiloachVishkin) {
+      continue;
+    }
+    for (const RepresentationPair& rep : Basket()) {
+      const SpanningForestResult result =
+          v->run_forest(GraphHandle(rep.compressed), {});
+      EXPECT_TRUE(CheckSpanningForest(rep.graph, result.edges))
+          << "variant=" << v->name << " graph=" << rep.name;
+    }
+    break;  // one union-find representative keeps the test fast
+  }
+  const Variant* sv = FindVariant("Shiloach-Vishkin");
+  ASSERT_NE(sv, nullptr);
+  for (const RepresentationPair& rep : Basket()) {
+    const SpanningForestResult result =
+        sv->run_forest(GraphHandle(rep.compressed), SamplingConfig::KOut());
+    EXPECT_TRUE(CheckSpanningForest(rep.graph, result.edges))
+        << "graph=" << rep.name;
+  }
+}
+
+// ---- GraphHandle semantics ----
+
+TEST(GraphHandle, DefaultHandleIsEmptyGraph) {
+  const GraphHandle handle;
+  EXPECT_EQ(handle.num_nodes(), 0u);
+  EXPECT_EQ(handle.num_arcs(), 0u);
+  EXPECT_EQ(handle.representation(), GraphRepresentation::kCsr);
+  const Variant* v = FindVariant("Union-Async;FindSplit");
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->run(handle, {}).empty());
+}
+
+TEST(GraphHandle, ViewsDoNotOwn) {
+  const Graph graph = GeneratePath(8);
+  const GraphHandle handle(graph);
+  EXPECT_EQ(handle.csr(), &graph);
+  EXPECT_EQ(handle.compressed(), nullptr);
+  EXPECT_EQ(handle.num_nodes(), 8u);
+}
+
+TEST(GraphHandle, OwningHandlesSurviveCopies) {
+  GraphHandle handle;
+  {
+    GraphHandle original = GraphHandle::Adopt(GenerateCycle(16));
+    handle = original;
+  }
+  EXPECT_EQ(handle.num_nodes(), 16u);
+  EXPECT_EQ(handle.num_edges(), 16u);
+  const Variant* v = FindVariant("Shiloach-Vishkin");
+  const auto labels = CanonicalizeLabels(v->run(handle, {}));
+  for (const NodeId label : labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(GraphHandle, FromEdgesMaterializesCsr) {
+  EdgeList edges;
+  edges.num_nodes = 5;
+  edges.edges = {{0, 1}, {1, 2}, {3, 4}};
+  const GraphHandle handle = GraphHandle::FromEdges(edges);
+  EXPECT_EQ(handle.representation(), GraphRepresentation::kCsr);
+  EXPECT_EQ(handle.num_nodes(), 5u);
+  EXPECT_EQ(handle.num_edges(), 3u);
+  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  const auto labels = CanonicalizeLabels(v->run(handle, {}));
+  const std::vector<NodeId> want = {0, 0, 0, 3, 3};
+  EXPECT_EQ(labels, want);
+}
+
+TEST(GraphHandle, CompressOwnsEncoding) {
+  const Graph graph = GenerateGrid(6, 6);
+  GraphHandle handle;
+  {
+    const GraphHandle coded = GraphHandle::Compress(graph);
+    handle = coded;
+  }
+  ASSERT_EQ(handle.representation(), GraphRepresentation::kCompressed);
+  EXPECT_EQ(handle.num_arcs(), graph.num_arcs());
+  EXPECT_STREQ(handle.representation_name(), "compressed");
+}
+
+}  // namespace
+}  // namespace connectit
