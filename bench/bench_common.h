@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/graph/builder.h"
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph_handle.h"
@@ -27,18 +28,39 @@ inline bool LargeScale() {
   return env != nullptr && std::strcmp(env, "large") == 0;
 }
 
-// CONNECTIT_BENCH_REPR=compressed runs registry-driven benches on the
-// byte-coded representation instead of plain CSR — same variants, same
-// sweep, different GraphHandle.
-inline bool CompressedRepr() {
+// CONNECTIT_BENCH_REPR=compressed|coo runs registry-driven benches on the
+// byte-coded or COO edge-list representation instead of plain CSR — same
+// variants, same sweep, different GraphHandle. On COO, edge-centric
+// variants without sampling run natively (no CSR rebuild inside the run).
+inline GraphRepresentation BenchRepr() {
   const char* env = std::getenv("CONNECTIT_BENCH_REPR");
-  return env != nullptr && std::strcmp(env, "compressed") == 0;
+  if (env == nullptr || std::strcmp(env, "csr") == 0) {
+    return GraphRepresentation::kCsr;
+  }
+  if (std::strcmp(env, "compressed") == 0) {
+    return GraphRepresentation::kCompressed;
+  }
+  if (std::strcmp(env, "coo") == 0) return GraphRepresentation::kCoo;
+  // Fail fast: silently benchmarking CSR under a misspelled value would
+  // mislabel every number in the run.
+  std::fprintf(stderr,
+               "error: unknown CONNECTIT_BENCH_REPR=%s "
+               "(expected csr, compressed, or coo)\n",
+               env);
+  std::exit(2);
 }
 
 // The handle a registry-driven bench should pass to Variant::run for this
-// suite graph: a plain view, or an owning byte-coded encoding of it.
+// suite graph: a plain view, an owning byte-coded encoding, or an owning
+// COO edge list extracted from it.
 inline GraphHandle MakeBenchHandle(const Graph& graph) {
-  return CompressedRepr() ? GraphHandle::Compress(graph) : GraphHandle(graph);
+  switch (BenchRepr()) {
+    case GraphRepresentation::kCompressed: return GraphHandle::Compress(graph);
+    case GraphRepresentation::kCoo:
+      return GraphHandle::Adopt(ExtractEdges(graph));
+    case GraphRepresentation::kCsr: break;
+  }
+  return GraphHandle(graph);
 }
 
 // Wall-clock seconds for one invocation of fn.

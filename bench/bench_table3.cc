@@ -50,9 +50,9 @@ const std::vector<std::pair<std::string, SamplingOption>> kGroups = {
 int main() {
   const auto suite = bench::Suite();
   // One GraphHandle per suite graph: the ConnectIt rows below are
-  // representation-generic (CONNECTIT_BENCH_REPR=compressed reruns the whole
-  // table on the byte-coded format); the "Other Systems" baselines are
-  // CSR-only and always run on the plain graphs.
+  // representation-generic (CONNECTIT_BENCH_REPR=compressed|coo reruns the
+  // whole table on the byte-coded or COO edge-list format); the "Other
+  // Systems" baselines are CSR-only and always run on the plain graphs.
   std::vector<GraphHandle> handles;
   for (const auto& bg : suite) handles.push_back(bench::MakeBenchHandle(bg.graph));
   bench::PrintTitle(

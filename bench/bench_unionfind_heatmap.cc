@@ -80,8 +80,9 @@ void RunHeatmap(const std::vector<BenchInput>& suite, SamplingOption sampling,
 
 int main() {
   // The sweep is representation-generic: each suite graph becomes one
-  // GraphHandle (plain CSR, or byte-coded under
-  // CONNECTIT_BENCH_REPR=compressed) and every variant runs through it.
+  // GraphHandle (plain CSR, byte-coded under
+  // CONNECTIT_BENCH_REPR=compressed, or a COO edge list under
+  // CONNECTIT_BENCH_REPR=coo) and every variant runs through it.
   const auto graphs = bench::SmallSuite();
   std::vector<BenchInput> suite;
   for (const auto& bg : graphs) {

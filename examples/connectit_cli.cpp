@@ -1,16 +1,23 @@
 // Command-line connectivity tool: the "downstream user" entry point.
 //
 // Usage:
-//   connectit_cli [--compressed] <edge-list-file> [variant] [sampling]
-//   connectit_cli [--compressed] --generate <rmat|grid|ba|er> <n> [variant]
+//   connectit_cli [--repr=<csr|compressed|coo>] <edge-list-file> [variant]
+//                 [sampling]
+//   connectit_cli [--repr=...] --generate <rmat|grid|ba|er> <n> [variant]
 //                 [sampling]
 //   connectit_cli --list
 //
 // variant:  any registry name (default Union-Rem-CAS;FindNaive;SplitAtomicOne)
 // sampling: none | kout | bfs | ldd   (default kout)
-// --compressed: byte-code the graph and run connectivity directly on the
-//               compressed representation (same variant space; the registry
-//               dispatches on the GraphHandle).
+// --repr=compressed (alias --compressed): byte-code the graph and run
+//               connectivity directly on the compressed representation.
+// --repr=coo:   keep the input as a COO edge list. Edge-centric variants
+//               with sampling=none run natively on it — the printed
+//               "csr materializations" line stays 0, proving no CSR was
+//               built; adjacency-dependent runs materialize (and cache)
+//               one CSR inside the handle.
+// The variant space is identical for every representation; the registry
+// dispatches on the GraphHandle.
 //
 // Prints component statistics and, for road-style workflows, writes the
 // densely renumbered component id per vertex to stdout with --labels.
@@ -41,11 +48,12 @@ SamplingConfig ParseSampling(const std::string& name) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: connectit_cli [--compressed] <edge-list-file> "
-               "[variant] [sampling]\n"
-               "       connectit_cli [--compressed] --generate "
+               "usage: connectit_cli [--repr=<csr|compressed|coo>] "
+               "<edge-list-file> [variant] [sampling]\n"
+               "       connectit_cli [--repr=...] --generate "
                "<rmat|grid|ba|er> <n> [variant] [sampling]\n"
-               "       connectit_cli --list\n");
+               "       connectit_cli --list\n"
+               "(--compressed is an alias for --repr=compressed)\n");
   return 2;
 }
 
@@ -53,11 +61,19 @@ int Usage() {
 
 int main(int argc, char** argv) {
   // Strip the representation flag wherever it appears.
-  bool compressed = false;
+  GraphRepresentation repr = GraphRepresentation::kCsr;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--compressed") == 0) {
-      compressed = true;
+    if (std::strcmp(argv[i], "--compressed") == 0 ||
+        std::strcmp(argv[i], "--repr=compressed") == 0) {
+      repr = GraphRepresentation::kCompressed;
+    } else if (std::strcmp(argv[i], "--repr=coo") == 0) {
+      repr = GraphRepresentation::kCoo;
+    } else if (std::strcmp(argv[i], "--repr=csr") == 0) {
+      repr = GraphRepresentation::kCsr;
+    } else if (std::strncmp(argv[i], "--repr=", 7) == 0) {
+      std::fprintf(stderr, "error: unknown representation %s\n", argv[i] + 7);
+      return Usage();
     } else {
       argv[out++] = argv[i];
     }
@@ -74,7 +90,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // COO mode keeps the edge list as the graph; the other modes build CSR
+  // up front (and optionally byte-code it).
   Graph graph;
+  EdgeList edges;
   int arg = 2;
   if (std::strcmp(argv[1], "--generate") == 0) {
     if (argc < 4) return Usage();
@@ -92,14 +111,22 @@ int main(int argc, char** argv) {
     } else {
       return Usage();
     }
+    if (repr == GraphRepresentation::kCoo) {
+      edges = ExtractEdges(graph);
+      graph = Graph();  // the edges are the graph; drop the CSR
+    }
     arg = 4;
   } else {
-    EdgeList edges;
     if (!ReadEdgeListFile(argv[1], &edges)) {
       std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
       return 1;
     }
-    graph = BuildGraph(edges);
+    // COO is the file's native format: in --repr=coo mode the edges are the
+    // graph and no CSR conversion happens here.
+    if (repr != GraphRepresentation::kCoo) {
+      graph = BuildGraph(edges);
+      edges = EdgeList();  // don't hold the raw list alongside the CSR
+    }
   }
 
   const std::string variant_name =
@@ -112,16 +139,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const GraphHandle handle =
-      compressed ? GraphHandle::Compress(graph) : GraphHandle(graph);
+  GraphHandle handle;
+  switch (repr) {
+    case GraphRepresentation::kCsr: handle = GraphHandle(graph); break;
+    case GraphRepresentation::kCompressed:
+      handle = GraphHandle::Compress(graph);
+      break;
+    case GraphRepresentation::kCoo: handle = GraphHandle(edges); break;
+  }
   std::printf("graph: n=%u, m=%llu, representation=%s\n", handle.num_nodes(),
               static_cast<unsigned long long>(handle.num_edges()),
               handle.representation_name());
-  if (compressed) {
+  if (repr == GraphRepresentation::kCompressed) {
     std::printf("byte-coded size: %zu bytes (raw CSR edges: %zu)\n",
                 handle.compressed()->byte_size(),
                 static_cast<size_t>(graph.num_arcs()) * sizeof(NodeId));
   }
+  const uint64_t builds_before = CooCsrMaterializations();
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<NodeId> labels =
       variant->run(handle, ParseSampling(sampling_name));
@@ -133,7 +167,13 @@ int main(int argc, char** argv) {
   std::printf("algorithm: %s (+%s)\n", variant_name.c_str(),
               sampling_name.c_str());
   std::printf("time: %.4f s (%.2e edges/s)\n", seconds,
-              static_cast<double>(graph.num_edges()) / seconds);
+              static_cast<double>(handle.num_edges()) / seconds);
+  if (repr == GraphRepresentation::kCoo) {
+    // 0 = the run stayed COO-native end to end.
+    std::printf("csr materializations: %llu\n",
+                static_cast<unsigned long long>(CooCsrMaterializations() -
+                                                builds_before));
+  }
   std::printf("components: %u\n", num_components);
   const auto histogram = ComponentSizeHistogram(labels);
   std::printf("largest component: %u vertices\n",

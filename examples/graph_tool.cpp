@@ -6,7 +6,8 @@
 //   graph_tool convert <in.el> <out.bin>          (text -> binary CSR)
 //   graph_tool stats <in.el|in.bin>
 //   graph_tool compress <in.el|in.bin>            (report byte-code sizes and
-//                                                  check CSR/compressed
+//                                                  check CSR vs compressed
+//                                                  and CSR vs COO
 //                                                  connectivity parity)
 
 #include <cmath>
@@ -132,18 +133,23 @@ int main(int argc, char** argv) {
                 coded.compressed()->byte_size(),
                 static_cast<double>(raw) /
                     static_cast<double>(coded.compressed()->byte_size()));
-    // Sanity: the registry must produce the same partition on both
-    // representations of this graph.
+    // Sanity: the registry must produce the same partition on every
+    // representation of this graph (CSR view, byte-coded, COO edge list).
     const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
     if (v == nullptr) {
       std::fprintf(stderr, "error: default variant missing from registry\n");
       return 1;
     }
-    const bool parity = SamePartition(v->run(GraphHandle(graph), {}),
-                                      v->run(coded, {}));
+    const std::vector<NodeId> csr_labels = v->run(GraphHandle(graph), {});
+    const bool compressed_parity =
+        SamePartition(csr_labels, v->run(coded, {}));
     std::printf("csr/compressed connectivity parity: %s\n",
-                parity ? "ok" : "MISMATCH");
-    return parity ? 0 : 1;
+                compressed_parity ? "ok" : "MISMATCH");
+    const GraphHandle coo = GraphHandle::Adopt(ExtractEdges(graph));
+    const bool coo_parity = SamePartition(csr_labels, v->run(coo, {}));
+    std::printf("csr/coo connectivity parity: %s\n",
+                coo_parity ? "ok" : "MISMATCH");
+    return (compressed_parity && coo_parity) ? 0 : 1;
   }
   return Usage();
 }

@@ -14,6 +14,13 @@
 // (a depth-<=1 min-rooted forest; the identity when unsampled) and leaves
 // fully compressed: labels[v] is the minimum vertex id of v's component
 // (for ID-linking algorithms) or a canonical root (JTB).
+//
+// Representation support (paper §2 "Data Format"): the Finish*/Run* entry
+// points are templates over any adjacency representation (plain CSR,
+// byte-compressed CSR). Edge-centric finish methods additionally expose
+// *OnCoo entry points that run natively on an EdgeList — no CSR is ever
+// built — which the registry selects for unsampled runs on COO handles
+// (see registry.cc and ARCHITECTURE.md for the dispatch contract).
 
 #ifndef CONNECTIT_CORE_CONNECTIT_H_
 #define CONNECTIT_CORE_CONNECTIT_H_
@@ -101,10 +108,128 @@ std::vector<Edge> CollectFinishEdges(const GraphT& graph,
   return edges;
 }
 
+inline std::vector<NodeId> IdentityLabels(NodeId n) {
+  std::vector<NodeId> labels(n);
+  std::iota(labels.begin(), labels.end(), NodeId{0});
+  return labels;
+}
+
+// Result of Algorithm 2 (and of the COO-native forest drivers below).
+struct SpanningForestResult {
+  std::vector<NodeId> labels;
+  std::vector<Edge> edges;
+};
+
+// ---------------------------------------------------------------------------
+// COO-native drivers (paper §2 "Data Format": CSR and COO are both
+// first-class inputs)
+// ---------------------------------------------------------------------------
+//
+// These run directly on a flat EdgeList — Liu-Tarjan's native input format,
+// and the cheapest way to answer connectivity on edge-list input with
+// union-find: one parallel unite per edge, no CSR build, no symmetrization.
+// Self-loops and duplicate edges in the input are tolerated (unites of
+// already-connected endpoints are no-ops; the Liu-Tarjan/Stergiou loops
+// skip u == v entries). Sampling is adjacency-dependent and therefore not
+// offered here; the registry materializes CSR for sampled runs on COO
+// handles (GraphHandle::MaterializedCsr).
+
+// Union-find connectivity on COO (paper §3.3.1), honoring the full
+// unite/find/splice option space of Algorithms 10-14.
+template <UniteOption kUnite, FindOption kFind,
+          SpliceOption kSplice = SpliceOption::kNone>
+std::vector<NodeId> ConnectivityOnEdges(const EdgeList& edges) {
+  std::vector<NodeId> labels = IdentityLabels(edges.num_nodes);
+  Dsu<kUnite, kFind, kSplice> dsu(labels.data(), edges.num_nodes);
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    dsu.Unite(edges.edges[i].u, edges.edges[i].v);
+  });
+  FullyCompressParents(labels.data(), edges.num_nodes);
+  return labels;
+}
+
+// Union-find spanning forest on COO (paper Algorithm 2's finish step,
+// edge-centric form): the winning Unite records the responsible edge into
+// the hooked root's slot.
+template <UniteOption kUnite, FindOption kFind,
+          SpliceOption kSplice = SpliceOption::kNone>
+SpanningForestResult SpanningForestOnEdges(const EdgeList& edges) {
+  const NodeId n = edges.num_nodes;
+  SpanningForestResult result;
+  result.labels = IdentityLabels(n);
+  std::vector<Edge> slots(n, kEmptySlot);
+  Dsu<kUnite, kFind, kSplice> dsu(result.labels.data(), n);
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    const Edge e = edges.edges[i];
+    const NodeId hooked = dsu.Unite(e.u, e.v);
+    if (hooked != kInvalidNode) slots[hooked] = e;
+  });
+  FullyCompressParents(result.labels.data(), n);
+  result.edges = ParallelPack<Edge>(
+      n, [&](size_t v) { return slots[v] != kEmptySlot; },
+      [&](size_t v) { return slots[v]; });
+  return result;
+}
+
+// Liu-Tarjan connectivity on COO (paper §3.3.2 / Appendix D; their native
+// input format), honoring the full connect/update/shortcut/alter space.
+template <LtConnect kConnect, LtUpdate kUpdate, LtShortcut kShortcut,
+          LtAlter kAlter>
+std::vector<NodeId> ConnectivityOnEdgesLt(const EdgeList& edges) {
+  std::vector<NodeId> labels = IdentityLabels(edges.num_nodes);
+  std::vector<Edge> work = edges.edges;
+  LiuTarjan<kConnect, kUpdate, kShortcut, kAlter> lt;
+  lt.Run(work, labels);
+  FullyCompressParents(labels.data(), edges.num_nodes);
+  return labels;
+}
+
+// Liu-Tarjan spanning forest on COO (RootUp variants only — Appendix B.2's
+// root-based criterion).
+template <LtConnect kConnect, LtUpdate kUpdate, LtShortcut kShortcut,
+          LtAlter kAlter>
+SpanningForestResult SpanningForestOnEdgesLt(const EdgeList& edges) {
+  static_assert(kUpdate == LtUpdate::kRootUp,
+                "spanning forest requires a RootUp (root-based) variant");
+  const NodeId n = edges.num_nodes;
+  SpanningForestResult result;
+  result.labels = IdentityLabels(n);
+  std::vector<Edge> slots(n, kEmptySlot);
+  SlotRecorder recorder(&slots, result.labels.data(), n);
+  LiuTarjan<kConnect, kUpdate, kShortcut, kAlter> lt;
+  // The work array is consumed (Alter rewrites it); originals stay aligned
+  // with it so the recorder stores underlying graph edges.
+  lt.RunForest(edges.edges, edges.edges, result.labels, recorder);
+  FullyCompressParents(result.labels.data(), n);
+  result.edges = ParallelPack<Edge>(
+      n, [&](size_t v) { return slots[v] != kEmptySlot; },
+      [&](size_t v) { return slots[v]; });
+  return result;
+}
+
+// Stergiou's two-array BSP algorithm on COO (paper §B.2.5) — edge-centric
+// like Liu-Tarjan, so it is COO-native too.
+inline std::vector<NodeId> ConnectivityOnEdgesStergiou(const EdgeList& edges) {
+  std::vector<NodeId> labels = IdentityLabels(edges.num_nodes);
+  std::vector<Edge> work = edges.edges;
+  Stergiou st;
+  st.Run(work, labels);
+  FullyCompressParents(labels.data(), edges.num_nodes);
+  return labels;
+}
+
 // ---------------------------------------------------------------------------
 // Finish adapters
 // ---------------------------------------------------------------------------
+//
+// Each adapter binds one finish family to the framework surface. The
+// ComponentsOnCoo/ForestOnCoo statics mark a family as COO-native: the
+// registry detects them (registry.cc) and routes unsampled COO-handle runs
+// there instead of materializing CSR. Vertex-centric families (SV, label
+// propagation) deliberately omit them.
 
+// Union-find finish (paper §3.3.1, Algorithms 10-14; 144 variants across
+// unite x find x splice). Runs natively on CSR, compressed, and COO.
 template <UniteOption kUnite, FindOption kFind,
           SpliceOption kSplice = SpliceOption::kNone>
 struct UnionFindFinish {
@@ -153,8 +278,18 @@ struct UnionFindFinish {
     }
     FullyCompressParents(labels.data(), n);
   }
+
+  static std::vector<NodeId> ComponentsOnCoo(const EdgeList& edges) {
+    return ConnectivityOnEdges<kUnite, kFind, kSplice>(edges);
+  }
+  static SpanningForestResult ForestOnCoo(const EdgeList& edges) {
+    return SpanningForestOnEdges<kUnite, kFind, kSplice>(edges);
+  }
 };
 
+// Liu-Tarjan finish (paper §3.3.2; the 16 Appendix D variants). Edge-centric
+// — on CSR/compressed it first collects the contracted finish edges; on COO
+// it runs natively on the input edge array.
 template <LtConnect kConnect, LtUpdate kUpdate, LtShortcut kShortcut,
           LtAlter kAlter>
 struct LiuTarjanFinish {
@@ -183,8 +318,17 @@ struct LiuTarjanFinish {
     lt.RunForest(std::move(edges), std::move(originals), labels, recorder);
     FullyCompressParents(labels.data(), graph.num_nodes());
   }
+
+  static std::vector<NodeId> ComponentsOnCoo(const EdgeList& edges) {
+    return ConnectivityOnEdgesLt<kConnect, kUpdate, kShortcut, kAlter>(edges);
+  }
+  static SpanningForestResult ForestOnCoo(const EdgeList& edges) {
+    return SpanningForestOnEdgesLt<kConnect, kUpdate, kShortcut, kAlter>(
+        edges);
+  }
 };
 
+// Stergiou finish (paper §B.2.5). Edge-centric; COO-native like Liu-Tarjan.
 struct StergiouFinish {
   static constexpr bool kRootBased = false;
 
@@ -197,8 +341,14 @@ struct StergiouFinish {
     st.Run(edges, labels);
     FullyCompressParents(labels.data(), graph.num_nodes());
   }
+
+  static std::vector<NodeId> ComponentsOnCoo(const EdgeList& edges) {
+    return ConnectivityOnEdgesStergiou(edges);
+  }
 };
 
+// Label-propagation finish (paper §B.2.6). Vertex-centric: needs adjacency
+// (per-vertex frontier expansion), so COO handles materialize CSR first.
 struct LabelPropFinish {
   static constexpr bool kRootBased = false;
 
@@ -218,6 +368,8 @@ struct LabelPropFinish {
   }
 };
 
+// Shiloach-Vishkin finish (paper §B.2.4). Vertex-centric over adjacency
+// lists (hook-and-compress rounds), so COO handles materialize CSR first.
 struct ShiloachVishkinFinish {
   static constexpr bool kRootBased = true;
 
@@ -244,13 +396,8 @@ struct ShiloachVishkinFinish {
 // Framework drivers (Algorithms 1 and 2)
 // ---------------------------------------------------------------------------
 
-inline std::vector<NodeId> IdentityLabels(NodeId n) {
-  std::vector<NodeId> labels(n);
-  std::iota(labels.begin(), labels.end(), NodeId{0});
-  return labels;
-}
-
-// Algorithm 1: Connectivity(G, sampling, finish).
+// Algorithm 1: Connectivity(G, sampling, finish). GraphT is any adjacency
+// representation (plain or byte-compressed CSR).
 template <typename Finish, typename GraphT>
 std::vector<NodeId> RunConnectivity(const GraphT& graph,
                                     const SamplingConfig& sampling = {}) {
@@ -261,38 +408,6 @@ std::vector<NodeId> RunConnectivity(const GraphT& graph,
     frequent = IdentifyFrequentSampled(labels).label;
   }
   Finish::FinishComponents(graph, labels, frequent);
-  return labels;
-}
-
-struct SpanningForestResult {
-  std::vector<NodeId> labels;
-  std::vector<Edge> edges;
-};
-
-// Static connectivity directly on a COO edge list (paper §2 "Data Format":
-// CSR and COO are both first-class inputs). Union-find form: one parallel
-// unite per edge.
-template <UniteOption kUnite, FindOption kFind,
-          SpliceOption kSplice = SpliceOption::kNone>
-std::vector<NodeId> ConnectivityOnEdges(const EdgeList& edges) {
-  std::vector<NodeId> labels = IdentityLabels(edges.num_nodes);
-  Dsu<kUnite, kFind, kSplice> dsu(labels.data(), edges.num_nodes);
-  ParallelFor(0, edges.size(), [&](size_t i) {
-    dsu.Unite(edges.edges[i].u, edges.edges[i].v);
-  });
-  FullyCompressParents(labels.data(), edges.num_nodes);
-  return labels;
-}
-
-// Liu-Tarjan form over COO (their native input format).
-template <LtConnect kConnect, LtUpdate kUpdate, LtShortcut kShortcut,
-          LtAlter kAlter>
-std::vector<NodeId> ConnectivityOnEdgesLt(const EdgeList& edges) {
-  std::vector<NodeId> labels = IdentityLabels(edges.num_nodes);
-  std::vector<Edge> work = edges.edges;
-  LiuTarjan<kConnect, kUpdate, kShortcut, kAlter> lt;
-  lt.Run(work, labels);
-  FullyCompressParents(labels.data(), edges.num_nodes);
   return labels;
 }
 

@@ -1,27 +1,75 @@
 #include "src/core/registry.h"
 
 #include <mutex>
+#include <type_traits>
+#include <utility>
 
 namespace connectit {
 
 namespace {
 
+// Detection of a finish method's COO-native entry points (connectit.h).
+// A finish family that declares ComponentsOnCoo/ForestOnCoo runs directly
+// on an EdgeList; families without them fall back to the handle's cached
+// CSR materialization.
+template <typename Finish, typename = void>
+struct HasCooComponents : std::false_type {};
+template <typename Finish>
+struct HasCooComponents<
+    Finish, std::void_t<decltype(Finish::ComponentsOnCoo(
+                std::declval<const EdgeList&>()))>> : std::true_type {};
+
+template <typename Finish, typename = void>
+struct HasCooForest : std::false_type {};
+template <typename Finish>
+struct HasCooForest<Finish, std::void_t<decltype(Finish::ForestOnCoo(
+                                std::declval<const EdgeList&>()))>>
+    : std::true_type {};
+
 // Per-representation instantiation of the templated framework: each
 // registered closure accepts the type-erased GraphHandle and dispatches to
-// RunConnectivity/RunSpanningForest<Finish> for the concrete representation.
+// RunConnectivity/RunSpanningForest<Finish> for the concrete representation
+// behind GraphHandle::Visit — the single seam a new representation must
+// extend (see ARCHITECTURE.md).
+//
+// The COO arm is two-tier: unsampled runs of edge-centric finish methods
+// execute natively on the edge list (no CSR is ever built); sampling needs
+// adjacency (k-out degrees, BFS/LDD traversal), so sampled runs — and
+// vertex-centric finish methods — use the CSR cached inside the handle
+// (built once, shared by handle copies).
 template <typename Finish>
 std::vector<NodeId> RunOnHandle(const GraphHandle& handle,
                                 const SamplingConfig& sampling) {
-  return handle.Visit([&](const auto& graph) {
-    return RunConnectivity<Finish>(graph, sampling);
+  return handle.Visit([&](const auto& graph) -> std::vector<NodeId> {
+    using Rep = std::decay_t<decltype(graph)>;
+    if constexpr (std::is_same_v<Rep, EdgeList>) {
+      if constexpr (HasCooComponents<Finish>::value) {
+        if (sampling.option == SamplingOption::kNone) {
+          return Finish::ComponentsOnCoo(graph);
+        }
+      }
+      return RunConnectivity<Finish>(handle.MaterializedCsr(), sampling);
+    } else {
+      return RunConnectivity<Finish>(graph, sampling);
+    }
   });
 }
 
 template <typename Finish>
 SpanningForestResult RunForestOnHandle(const GraphHandle& handle,
                                        const SamplingConfig& sampling) {
-  return handle.Visit([&](const auto& graph) {
-    return RunSpanningForest<Finish>(graph, sampling);
+  return handle.Visit([&](const auto& graph) -> SpanningForestResult {
+    using Rep = std::decay_t<decltype(graph)>;
+    if constexpr (std::is_same_v<Rep, EdgeList>) {
+      if constexpr (HasCooForest<Finish>::value) {
+        if (sampling.option == SamplingOption::kNone) {
+          return Finish::ForestOnCoo(graph);
+        }
+      }
+      return RunSpanningForest<Finish>(handle.MaterializedCsr(), sampling);
+    } else {
+      return RunSpanningForest<Finish>(graph, sampling);
+    }
   });
 }
 

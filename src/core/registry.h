@@ -15,10 +15,15 @@
 //
 // The graph representation is orthogonal too: run/run_forest take a
 // type-erased GraphHandle (graph_handle.h), so every variant executes
-// uniformly on plain CSR, byte-compressed CSR, or (materialized) COO input;
-// the templated finish adapters are instantiated per representation behind
-// GraphHandle::Visit. A `const Graph&` still works at every call site via
-// GraphHandle's implicit view conversion.
+// uniformly on plain CSR, byte-compressed CSR, or COO input; the templated
+// finish adapters are instantiated per representation behind
+// GraphHandle::Visit. Edge-centric families (union-find, Liu-Tarjan,
+// Stergiou) run *natively* on COO handles when unsampled — no CSR is built;
+// adjacency-dependent work (any sampling scheme, Shiloach-Vishkin, label
+// propagation) transparently uses the CSR cached inside the handle. A
+// `const Graph&` still works at every call site via GraphHandle's implicit
+// view conversion. ARCHITECTURE.md documents the dispatch contract and the
+// per-family native-representation matrix.
 
 #ifndef CONNECTIT_CORE_REGISTRY_H_
 #define CONNECTIT_CORE_REGISTRY_H_
@@ -55,12 +60,20 @@ struct Variant {
   bool root_based = false;
   bool supports_streaming = false;
 
+  // Paper Algorithm 1 (Connectivity): sampling phase (§3.2) + this
+  // variant's finish phase. Native on CSR and compressed CSR for every
+  // family; native on COO for the edge-centric families (union-find §3.3.1,
+  // Liu-Tarjan §3.3.2/App. D, Stergiou §B.2.5) when sampling is kNone,
+  // via the handle's cached CSR otherwise.
   std::function<std::vector<NodeId>(const GraphHandle&, const SamplingConfig&)>
       run;
-  // Null unless root_based.
+  // Paper Algorithm 2 (SpanningForest); null unless root_based (App. B.2).
+  // Same representation rules as `run` (COO-native: union-find and RootUp
+  // Liu-Tarjan).
   std::function<SpanningForestResult(const GraphHandle&, const SamplingConfig&)>
       run_forest;
-  // Null unless supports_streaming.
+  // Paper §3.5 batch-incremental form; null unless supports_streaming.
+  // Consumes COO batches by definition (representation-independent).
   std::function<std::unique_ptr<StreamingConnectivity>(NodeId)>
       make_streaming;
 };

@@ -10,9 +10,12 @@
 // the per-vertex slot array (Definition B.2): slot[v] holds the unique
 // forest edge assigned to v, or (kInvalidNode, kInvalidNode).
 //
-// All schemes are generic over the graph representation (plain CSR or
+// All schemes are generic over any adjacency representation (plain CSR or
 // byte-compressed CSR); the named non-template entry points operate on
-// Graph.
+// Graph. Sampling inherently needs adjacency (k-out reads degrees and
+// NeighborAt; BFS/LDD traverse), so it is never COO-native: sampled runs
+// on a COO GraphHandle go through the handle's cached CSR materialization
+// (see registry.cc and ARCHITECTURE.md).
 
 #ifndef CONNECTIT_CORE_SAMPLING_H_
 #define CONNECTIT_CORE_SAMPLING_H_

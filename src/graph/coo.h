@@ -1,5 +1,12 @@
-// Edge list (COO) representation: the input format for graph construction
-// and the batch format for the streaming algorithms (paper §2, §3.5).
+// Edge list (COO) representation (paper §2, §3.5): a first-class
+// GraphHandle representation (GraphRepresentation::kCoo), the input format
+// for graph construction, and the batch format for the streaming
+// algorithms.
+//
+// Edge-centric finish methods (union-find, Liu-Tarjan, Stergiou) run
+// natively on an EdgeList through the registry — see the *OnEdges* drivers
+// in src/core/connectit.h. Adjacency-dependent consumers go through
+// GraphHandle::MaterializedCsr() instead of converting eagerly.
 
 #ifndef CONNECTIT_GRAPH_COO_H_
 #define CONNECTIT_GRAPH_COO_H_

@@ -1,16 +1,38 @@
 #include "src/graph/graph_handle.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
 #include "src/graph/builder.h"
 
 namespace connectit {
+
+namespace {
+std::atomic<uint64_t> g_coo_csr_materializations{0};
+}  // namespace
+
+uint64_t CooCsrMaterializations() {
+  return g_coo_csr_materializations.load(std::memory_order_relaxed);
+}
 
 const char* ToString(GraphRepresentation rep) {
   switch (rep) {
     case GraphRepresentation::kCsr: return "csr";
     case GraphRepresentation::kCompressed: return "compressed";
+    case GraphRepresentation::kCoo: return "coo";
   }
   return "unknown";
 }
+
+struct GraphHandle::CooCsrCache {
+  std::once_flag once;
+  std::unique_ptr<const Graph> csr;
+};
+
+GraphHandle::GraphHandle(const EdgeList& edges)
+    : coo_(&edges), coo_cache_(std::make_shared<CooCsrCache>()) {}
 
 GraphHandle GraphHandle::Adopt(Graph graph) {
   GraphHandle handle;
@@ -28,12 +50,42 @@ GraphHandle GraphHandle::Adopt(CompressedGraph graph) {
   return handle;
 }
 
+GraphHandle GraphHandle::Adopt(EdgeList edges) {
+  GraphHandle handle;
+  auto owned = std::make_shared<EdgeList>(std::move(edges));
+  handle.coo_ = owned.get();
+  handle.owned_ = std::move(owned);
+  handle.coo_cache_ = std::make_shared<CooCsrCache>();
+  return handle;
+}
+
 GraphHandle GraphHandle::FromEdges(const EdgeList& edges) {
-  return Adopt(BuildGraph(edges));
+  return Adopt(edges);
 }
 
 GraphHandle GraphHandle::Compress(const Graph& graph) {
   return Adopt(CompressedGraph::Encode(graph));
+}
+
+const Graph& GraphHandle::MaterializedCsr() const {
+  if (coo_ != nullptr) {
+    std::call_once(coo_cache_->once, [this] {
+      coo_cache_->csr = std::make_unique<const Graph>(BuildGraph(*coo_));
+      g_coo_csr_materializations.fetch_add(1, std::memory_order_relaxed);
+    });
+    return *coo_cache_->csr;
+  }
+  // A CSR handle is its own materialization. Compressed handles serve the
+  // adjacency surface directly and must not be silently flattened to the
+  // empty graph here — abort even in Release builds rather than return a
+  // 0-vertex graph.
+  if (compressed_ != nullptr) {
+    std::fprintf(stderr,
+                 "MaterializedCsr: compressed handles already provide "
+                 "adjacency; use Visit\n");
+    std::abort();
+  }
+  return csr_ != nullptr ? *csr_ : EmptyGraph();
 }
 
 const Graph& GraphHandle::EmptyGraph() {

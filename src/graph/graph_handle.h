@@ -2,23 +2,32 @@
 //
 // ConnectIt treats plain CSR, byte-compressed CSR, and COO edge lists as
 // first-class inputs: every sampling and finish method is a template over
-// the representation's MapNeighbors/MapArcs/MapArcsIf/NeighborAt surface.
-// GraphHandle is the type-erased seam between that compile-time genericity
-// and the runtime registry: a Variant::run accepts a GraphHandle, and the
-// registry instantiates the templated framework once per representation
-// behind Visit().
+// the representation's MapNeighbors/MapArcs/MapArcsIf/NeighborAt surface,
+// and the edge-centric finish methods (union-find, Liu-Tarjan, Stergiou)
+// additionally run directly on a flat edge array. GraphHandle is the
+// type-erased seam between that compile-time genericity and the runtime
+// registry: a Variant::run accepts a GraphHandle, and the registry
+// instantiates the templated framework once per representation behind
+// Visit().
 //
 // A handle is either a *view* (non-owning; the caller keeps the graph
 // alive, as when benches iterate a pre-built suite) or *owning* (the handle
 // holds the representation via shared_ptr, so handles are cheap to copy and
-// safe to return). COO input is materialized to CSR at construction —
-// adjacency-free edge lists cannot serve MapNeighbors/NeighborAt, which the
-// sampling phase requires; COO-native Liu-Tarjan registry rows are a
-// ROADMAP follow-up.
+// safe to return).
+//
+// COO handles are *not* converted at the door. Edge-centric finish methods
+// run natively on the edge list (see ConnectivityOnEdges et al. in
+// connectit.h); only consumers that genuinely need adjacency — the sampling
+// schemes and the vertex-centric finish methods — trigger a CSR
+// materialization, via MaterializedCsr(). The materialization is built once
+// per handle family (copies share it) and cached; CooCsrMaterializations()
+// counts builds so tests and the CLI can assert the native paths never pay
+// the O(m) conversion.
 
 #ifndef CONNECTIT_GRAPH_GRAPH_HANDLE_H_
 #define CONNECTIT_GRAPH_GRAPH_HANDLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 
@@ -32,9 +41,16 @@ namespace connectit {
 enum class GraphRepresentation {
   kCsr,
   kCompressed,
+  kCoo,
 };
 
 const char* ToString(GraphRepresentation rep);
+
+// Number of COO -> CSR materializations performed process-wide (via
+// GraphHandle::MaterializedCsr). The acceptance gate for COO-native
+// execution: run a variant on a COO handle and assert this counter did not
+// move.
+uint64_t CooCsrMaterializations();
 
 class GraphHandle {
  public:
@@ -45,63 +61,94 @@ class GraphHandle {
   // passed `const Graph&` to Variant::run keeps working unchanged.
   GraphHandle(const Graph& graph) : csr_(&graph) {}
   GraphHandle(const CompressedGraph& graph) : compressed_(&graph) {}
+  GraphHandle(const EdgeList& edges);
 
   // A view of a temporary would dangle immediately; use Adopt/Compress for
   // rvalues.
   GraphHandle(Graph&&) = delete;
   GraphHandle(CompressedGraph&&) = delete;
+  GraphHandle(EdgeList&&) = delete;
 
   // Owning handles (the representation lives as long as any copy).
   static GraphHandle Adopt(Graph graph);
   static GraphHandle Adopt(CompressedGraph graph);
+  static GraphHandle Adopt(EdgeList edges);
 
-  // COO input: symmetrizes/dedups through BuildGraph and owns the CSR.
+  // COO input as a first-class representation: the handle owns a copy of
+  // the edge list and stays COO. CSR is built lazily — and counted — only
+  // if an adjacency-dependent consumer asks (MaterializedCsr).
   static GraphHandle FromEdges(const EdgeList& edges);
 
   // Byte-compresses a CSR graph and owns the result.
   static GraphHandle Compress(const Graph& graph);
 
   GraphRepresentation representation() const {
-    return compressed_ != nullptr ? GraphRepresentation::kCompressed
-                                  : GraphRepresentation::kCsr;
+    // Exhaustive over every representation a handle can hold; a default
+    // handle reads as the empty CSR graph.
+    if (coo_ != nullptr) return GraphRepresentation::kCoo;
+    if (compressed_ != nullptr) return GraphRepresentation::kCompressed;
+    return GraphRepresentation::kCsr;
   }
   const char* representation_name() const {
     return ToString(representation());
   }
 
-  // The underlying representation, or nullptr when the handle wraps the
-  // other one. Use Visit for representation-generic code.
+  // The underlying representation, or nullptr when the handle wraps a
+  // different one. Use Visit for representation-generic code.
   const Graph* csr() const { return csr_; }
   const CompressedGraph* compressed() const { return compressed_; }
+  const EdgeList* coo() const { return coo_; }
 
-  // Invokes `visitor` with the concrete representation (`const Graph&` or
-  // `const CompressedGraph&`). This is the single dispatch point the
-  // registry uses to instantiate the templated framework per representation.
+  // COO handles only: the symmetrized/deduplicated CSR materialization of
+  // the edge list, built through BuildGraph on first call (thread-safe) and
+  // cached — copies of the handle share one build. Each build increments
+  // CooCsrMaterializations().
+  const Graph& MaterializedCsr() const;
+
+  // Invokes `visitor` with the concrete representation (`const Graph&`,
+  // `const CompressedGraph&`, or `const EdgeList&`). This is the single
+  // dispatch point the registry uses to instantiate the templated framework
+  // per representation; visitors that need adjacency on an EdgeList arm
+  // escalate explicitly via MaterializedCsr().
   template <typename Visitor>
   decltype(auto) Visit(Visitor&& visitor) const {
+    if (coo_ != nullptr) return visitor(*coo_);
     if (compressed_ != nullptr) return visitor(*compressed_);
     if (csr_ != nullptr) return visitor(*csr_);
     return visitor(EmptyGraph());
   }
 
   NodeId num_nodes() const {
-    return Visit([](const auto& g) { return g.num_nodes(); });
+    if (coo_ != nullptr) return coo_->num_nodes;
+    return compressed_ != nullptr ? compressed_->num_nodes()
+                                  : (csr_ != nullptr ? csr_->num_nodes() : 0);
   }
   EdgeId num_arcs() const {
-    return Visit([](const auto& g) { return g.num_arcs(); });
+    if (coo_ != nullptr) return static_cast<EdgeId>(coo_->size()) * 2;
+    return compressed_ != nullptr ? compressed_->num_arcs()
+                                  : (csr_ != nullptr ? csr_->num_arcs() : 0);
   }
   EdgeId num_edges() const {
-    return Visit([](const auto& g) { return g.num_edges(); });
+    if (coo_ != nullptr) return static_cast<EdgeId>(coo_->size());
+    return compressed_ != nullptr ? compressed_->num_edges()
+                                  : (csr_ != nullptr ? csr_->num_edges() : 0);
   }
 
  private:
+  // Shared, lazily-filled CSR cache for COO handles. Lives behind a
+  // shared_ptr so every copy of the handle funds the same single build.
+  struct CooCsrCache;
+
   static const Graph& EmptyGraph();
 
   const Graph* csr_ = nullptr;
   const CompressedGraph* compressed_ = nullptr;
+  const EdgeList* coo_ = nullptr;
   // Set only for owning handles; keeps whichever representation the raw
   // pointers reference alive across copies.
   std::shared_ptr<const void> owned_;
+  // Set for every COO handle (view or owning).
+  std::shared_ptr<CooCsrCache> coo_cache_;
 };
 
 }  // namespace connectit

@@ -1,8 +1,12 @@
-// CSR vs byte-compressed parity: every registered variant, under every
-// sampling scheme, must produce the identical canonical labeling on the
-// plain and compressed representations of the same graph. This is the
-// acceptance gate for the type-erased GraphHandle seam: compressed inputs
-// are not a special case anywhere in the variant space.
+// Representation parity: every registered variant, under every sampling
+// scheme, must produce the identical canonical labeling on the plain CSR,
+// byte-compressed, and COO edge-list representations of the same graph.
+// This is the acceptance gate for the type-erased GraphHandle seam: neither
+// compressed nor COO inputs are a special case anywhere in the variant
+// space. The COO column additionally asserts the native-execution contract:
+// unsampled edge-centric variants never materialize a CSR
+// (CooCsrMaterializations stays flat), while sampled runs build it exactly
+// once per handle and cache it.
 
 #include <cctype>
 #include <string>
@@ -12,6 +16,7 @@
 
 #include "src/algo/verify.h"
 #include "src/core/registry.h"
+#include "src/graph/builder.h"
 #include "src/graph/compressed.h"
 #include "src/graph/graph_handle.h"
 #include "tests/test_graphs.h"
@@ -19,19 +24,22 @@
 namespace connectit {
 namespace {
 
-struct RepresentationPair {
+struct RepresentationTriple {
   std::string name;
   Graph graph;
   CompressedGraph compressed;
+  EdgeList coo;
 };
 
 // Each basket graph encoded once, shared by the whole sweep.
-const std::vector<RepresentationPair>& Basket() {
-  static const std::vector<RepresentationPair>* basket = [] {
-    auto* out = new std::vector<RepresentationPair>();
+const std::vector<RepresentationTriple>& Basket() {
+  static const std::vector<RepresentationTriple>* basket = [] {
+    auto* out = new std::vector<RepresentationTriple>();
     for (auto& [name, graph] : testing::CorrectnessBasket()) {
       CompressedGraph compressed = CompressedGraph::Encode(graph);
-      out->push_back({name, std::move(graph), std::move(compressed)});
+      EdgeList coo = ExtractEdges(graph);
+      out->push_back(
+          {name, std::move(graph), std::move(compressed), std::move(coo)});
     }
     return out;
   }();
@@ -66,21 +74,28 @@ std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
 
 class RepresentationParity : public ::testing::TestWithParam<SweepCase> {};
 
-TEST_P(RepresentationParity, CsrAndCompressedLabelingsMatch) {
+TEST_P(RepresentationParity, AllRepresentationLabelingsMatch) {
   const SweepCase& param = GetParam();
   const Variant* variant = FindVariant(param.variant);
   ASSERT_NE(variant, nullptr);
   SamplingConfig config;
   config.option = param.sampling;
-  for (const RepresentationPair& rep : Basket()) {
+  for (const RepresentationTriple& rep : Basket()) {
     const GraphHandle plain(rep.graph);
     const GraphHandle coded(rep.compressed);
+    const GraphHandle coo(rep.coo);
     ASSERT_EQ(coded.representation(), GraphRepresentation::kCompressed);
+    ASSERT_EQ(coo.representation(), GraphRepresentation::kCoo);
     const std::vector<NodeId> csr_labels =
         CanonicalizeLabels(variant->run(plain, config));
     const std::vector<NodeId> compressed_labels =
         CanonicalizeLabels(variant->run(coded, config));
     EXPECT_EQ(csr_labels, compressed_labels)
+        << "variant=" << param.variant
+        << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
+    const std::vector<NodeId> coo_labels =
+        CanonicalizeLabels(variant->run(coo, config));
+    EXPECT_EQ(csr_labels, coo_labels)
         << "variant=" << param.variant
         << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
   }
@@ -89,30 +104,105 @@ TEST_P(RepresentationParity, CsrAndCompressedLabelingsMatch) {
 INSTANTIATE_TEST_SUITE_P(AllVariantsAllSampling, RepresentationParity,
                          ::testing::ValuesIn(AllCases()), CaseName);
 
-// Spanning forest through a compressed handle is a valid forest of the
-// underlying graph.
-TEST(RepresentationParity, ForestOnCompressedHandle) {
+// Unsampled edge-centric variants (union-find, Liu-Tarjan, Stergiou) must
+// execute natively on COO handles: no CSR materialization anywhere in the
+// sweep.
+TEST(CooNative, EdgeCentricVariantsNeverMaterializeCsr) {
+  const uint64_t before = CooCsrMaterializations();
+  for (const Variant& v : AllVariants()) {
+    if (v.family != AlgorithmFamily::kUnionFind &&
+        v.family != AlgorithmFamily::kLiuTarjan &&
+        v.family != AlgorithmFamily::kStergiou) {
+      continue;
+    }
+    for (const RepresentationTriple& rep : Basket()) {
+      const GraphHandle coo(rep.coo);
+      const std::vector<NodeId> labels = v.run(coo, SamplingConfig::None());
+      EXPECT_EQ(CanonicalizeLabels(labels),
+                CanonicalizeLabels(v.run(GraphHandle(rep.graph), {})))
+          << "variant=" << v.name << " graph=" << rep.name;
+      if (v.root_based) {
+        const SpanningForestResult forest =
+            v.run_forest(coo, SamplingConfig::None());
+        EXPECT_TRUE(CheckSpanningForest(rep.graph, forest.edges))
+            << "variant=" << v.name << " graph=" << rep.name;
+      }
+    }
+  }
+  EXPECT_EQ(CooCsrMaterializations(), before)
+      << "an unsampled edge-centric variant built a CSR from a COO handle";
+}
+
+// Sampling needs adjacency: a sampled run on a COO handle materializes the
+// CSR exactly once, and every later run on the same handle (or a copy)
+// reuses the cached build.
+TEST(CooNative, SampledRunsMaterializeOnceAndCache) {
+  const RepresentationTriple& rep = Basket().front();
+  const Variant* v = FindVariant("Union-Async;FindSplit");
+  ASSERT_NE(v, nullptr);
+  const GraphHandle coo(rep.coo);
+  const GraphHandle copy = coo;  // shares the materialization cache
+  const uint64_t before = CooCsrMaterializations();
+  v->run(coo, SamplingConfig::KOut());
+  EXPECT_EQ(CooCsrMaterializations(), before + 1);
+  v->run(coo, SamplingConfig::Bfs());
+  v->run(copy, SamplingConfig::Ldd());
+  EXPECT_EQ(CooCsrMaterializations(), before + 1)
+      << "the handle's CSR cache was rebuilt";
+  // An independent handle over the same edges has its own cache.
+  const GraphHandle fresh(rep.coo);
+  v->run(fresh, SamplingConfig::KOut());
+  EXPECT_EQ(CooCsrMaterializations(), before + 2);
+}
+
+// Spanning forest through a compressed or COO handle is a valid forest of
+// the underlying graph.
+TEST(RepresentationParity, ForestOnNonCsrHandles) {
   for (const Variant* v : RootBasedVariants()) {
     if (v->family != AlgorithmFamily::kUnionFind &&
         v->family != AlgorithmFamily::kShiloachVishkin) {
       continue;
     }
-    for (const RepresentationPair& rep : Basket()) {
+    for (const RepresentationTriple& rep : Basket()) {
       const SpanningForestResult result =
           v->run_forest(GraphHandle(rep.compressed), {});
       EXPECT_TRUE(CheckSpanningForest(rep.graph, result.edges))
+          << "variant=" << v->name << " graph=" << rep.name;
+      const SpanningForestResult coo_result =
+          v->run_forest(GraphHandle(rep.coo), {});
+      EXPECT_TRUE(CheckSpanningForest(rep.graph, coo_result.edges))
           << "variant=" << v->name << " graph=" << rep.name;
     }
     break;  // one union-find representative keeps the test fast
   }
   const Variant* sv = FindVariant("Shiloach-Vishkin");
   ASSERT_NE(sv, nullptr);
-  for (const RepresentationPair& rep : Basket()) {
+  for (const RepresentationTriple& rep : Basket()) {
     const SpanningForestResult result =
         sv->run_forest(GraphHandle(rep.compressed), SamplingConfig::KOut());
     EXPECT_TRUE(CheckSpanningForest(rep.graph, result.edges))
         << "graph=" << rep.name;
+    // Sampled forest on COO goes through the cached CSR materialization.
+    const SpanningForestResult coo_result =
+        sv->run_forest(GraphHandle(rep.coo), SamplingConfig::KOut());
+    EXPECT_TRUE(CheckSpanningForest(rep.graph, coo_result.edges))
+        << "graph=" << rep.name;
   }
+}
+
+// Root-based Liu-Tarjan forest natively on COO.
+TEST(CooNative, LiuTarjanForestOnCoo) {
+  const Variant* lt = FindVariant("Liu-Tarjan;PRF");
+  ASSERT_NE(lt, nullptr);
+  ASSERT_TRUE(lt->root_based);
+  const uint64_t before = CooCsrMaterializations();
+  for (const RepresentationTriple& rep : Basket()) {
+    const SpanningForestResult result =
+        lt->run_forest(GraphHandle(rep.coo), SamplingConfig::None());
+    EXPECT_TRUE(CheckSpanningForest(rep.graph, result.edges))
+        << "graph=" << rep.name;
+  }
+  EXPECT_EQ(CooCsrMaterializations(), before);
 }
 
 // ---- GraphHandle semantics ----
@@ -132,6 +222,7 @@ TEST(GraphHandle, ViewsDoNotOwn) {
   const GraphHandle handle(graph);
   EXPECT_EQ(handle.csr(), &graph);
   EXPECT_EQ(handle.compressed(), nullptr);
+  EXPECT_EQ(handle.coo(), nullptr);
   EXPECT_EQ(handle.num_nodes(), 8u);
 }
 
@@ -148,18 +239,39 @@ TEST(GraphHandle, OwningHandlesSurviveCopies) {
   for (const NodeId label : labels) EXPECT_EQ(label, 0u);
 }
 
-TEST(GraphHandle, FromEdgesMaterializesCsr) {
+TEST(GraphHandle, FromEdgesStaysCoo) {
   EdgeList edges;
   edges.num_nodes = 5;
   edges.edges = {{0, 1}, {1, 2}, {3, 4}};
   const GraphHandle handle = GraphHandle::FromEdges(edges);
-  EXPECT_EQ(handle.representation(), GraphRepresentation::kCsr);
+  EXPECT_EQ(handle.representation(), GraphRepresentation::kCoo);
+  EXPECT_STREQ(handle.representation_name(), "coo");
   EXPECT_EQ(handle.num_nodes(), 5u);
   EXPECT_EQ(handle.num_edges(), 3u);
+  EXPECT_EQ(handle.num_arcs(), 6u);
   const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
   const auto labels = CanonicalizeLabels(v->run(handle, {}));
   const std::vector<NodeId> want = {0, 0, 0, 3, 3};
   EXPECT_EQ(labels, want);
+}
+
+TEST(GraphHandle, OwningCooSurvivesCopiesAndSharesCache) {
+  GraphHandle handle;
+  {
+    EdgeList edges;
+    edges.num_nodes = 4;
+    edges.edges = {{0, 1}, {2, 3}};
+    GraphHandle original = GraphHandle::Adopt(std::move(edges));
+    handle = original;
+  }
+  EXPECT_EQ(handle.representation(), GraphRepresentation::kCoo);
+  EXPECT_EQ(handle.num_nodes(), 4u);
+  const uint64_t before = CooCsrMaterializations();
+  const Graph& csr = handle.MaterializedCsr();
+  EXPECT_EQ(csr.num_nodes(), 4u);
+  EXPECT_EQ(csr.num_edges(), 2u);
+  EXPECT_EQ(&handle.MaterializedCsr(), &csr);  // cached, not rebuilt
+  EXPECT_EQ(CooCsrMaterializations(), before + 1);
 }
 
 TEST(GraphHandle, CompressOwnsEncoding) {
@@ -172,6 +284,12 @@ TEST(GraphHandle, CompressOwnsEncoding) {
   ASSERT_EQ(handle.representation(), GraphRepresentation::kCompressed);
   EXPECT_EQ(handle.num_arcs(), graph.num_arcs());
   EXPECT_STREQ(handle.representation_name(), "compressed");
+}
+
+TEST(GraphHandle, RepresentationNameIsExhaustive) {
+  EXPECT_STREQ(ToString(GraphRepresentation::kCsr), "csr");
+  EXPECT_STREQ(ToString(GraphRepresentation::kCompressed), "compressed");
+  EXPECT_STREQ(ToString(GraphRepresentation::kCoo), "coo");
 }
 
 }  // namespace
