@@ -8,14 +8,17 @@
 #ifndef CONNECTIT_BENCH_BENCH_COMMON_H_
 #define CONNECTIT_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/core/registry.h"
 #include "src/graph/builder.h"
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
@@ -126,6 +129,117 @@ inline void PrintTitle(const char* title) {
   std::printf("%s\n", title);
   PrintRule();
 }
+
+// ---- streaming harness (shared by the bench_stream_* binaries and
+// bench_stinger_compare) ----
+
+// Node count for the synthetic update streams, scaled like the suite.
+inline NodeId StreamNodes(NodeId large = 1u << 20, NodeId small = 1u << 16) {
+  return LargeScale() ? large : small;
+}
+
+// Cuts `edges` into consecutive batches of `batch_size` (last may be short).
+inline std::vector<std::vector<Edge>> SliceBatches(
+    const std::vector<Edge>& edges, size_t batch_size) {
+  std::vector<std::vector<Edge>> batches;
+  for (size_t start = 0; start < edges.size(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, edges.size());
+    batches.emplace_back(edges.begin() + start, edges.begin() + end);
+  }
+  return batches;
+}
+
+// Applies every batch as pure updates; returns total wall-clock seconds.
+inline double DriveBatches(StreamingConnectivity& alg,
+                           const std::vector<std::vector<Edge>>& batches) {
+  return TimeIt([&] {
+    for (const std::vector<Edge>& batch : batches) alg.ProcessBatch(batch, {});
+  });
+}
+
+// Splits an update stream for the static-to-streaming handoff: everything
+// but the last `holdout` fraction is the bulk-loaded base graph; the tail
+// arrives as streamed batches.
+struct HandoffSplit {
+  EdgeList base;
+  std::vector<Edge> tail;
+};
+
+inline HandoffSplit SplitForHandoff(const EdgeList& stream,
+                                    double holdout = 0.25) {
+  HandoffSplit split;
+  const size_t cut =
+      stream.size() - static_cast<size_t>(stream.size() * holdout);
+  split.base.num_nodes = stream.num_nodes;
+  split.base.edges.assign(stream.edges.begin(), stream.edges.begin() + cut);
+  split.tail.assign(stream.edges.begin() + cut, stream.edges.end());
+  return split;
+}
+
+// The GraphHandle a warm-start static pass should run on, honoring
+// CONNECTIT_BENCH_REPR: a COO view of `base` (native for edge-centric
+// variants), an owning CSR, or an owning byte-coded CSR.
+inline GraphHandle MakeSeedHandle(const EdgeList& base) {
+  switch (BenchRepr()) {
+    case GraphRepresentation::kCompressed:
+      return GraphHandle::Compress(BuildGraph(base));
+    case GraphRepresentation::kCsr:
+      return GraphHandle::Adopt(BuildGraph(base));
+    case GraphRepresentation::kCoo: break;
+  }
+  return GraphHandle(base);
+}
+
+// Cold-vs-seeded comparison for one variant over one update stream: the
+// cold structure streams base+tail in batches from an empty start; the
+// seeded structure bulk-loads the base with the variant's static pass
+// (StreamingSeed::FromStatic) and streams only the tail.
+struct HandoffTiming {
+  double cold_total = 0;   // cold: base + tail, all batched
+  double static_pass = 0;  // seeded: bulk static pass over the base
+  double seeded_tail = 0;  // seeded: streaming the tail batches
+  double seeded_total() const { return static_pass + seeded_tail; }
+};
+
+inline HandoffTiming MeasureHandoff(const Variant& v, const EdgeList& stream,
+                                    size_t batch_size,
+                                    double holdout = 0.25) {
+  const HandoffSplit split = SplitForHandoff(stream, holdout);
+  const auto base_batches = SliceBatches(split.base.edges, batch_size);
+  const auto tail_batches = SliceBatches(split.tail, batch_size);
+  HandoffTiming t;
+  {
+    auto cold = v.make_streaming(StreamingSeed::Cold(stream.num_nodes));
+    t.cold_total = DriveBatches(*cold, base_batches) +
+                   DriveBatches(*cold, tail_batches);
+  }
+  {
+    std::unique_ptr<StreamingConnectivity> seeded;
+    t.static_pass = TimeIt([&] {
+      // Building the seed representation (BuildGraph / byte-coding for
+      // csr/compressed, free for the COO view) is timed too: the seeded
+      // column must carry every cost the cold path avoids.
+      const GraphHandle handle = MakeSeedHandle(split.base);
+      seeded = v.make_streaming(StreamingSeed::FromStatic(handle));
+    });
+    t.seeded_tail = DriveBatches(*seeded, tail_batches);
+  }
+  return t;
+}
+
+// Prints one row of a cold-vs-seeded table (see MeasureHandoff).
+inline void PrintHandoffRow(const char* label, const HandoffTiming& t) {
+  std::printf("%-44s %12.3e %12.3e %12.3e %12.3e %7.2fx\n", label,
+              t.cold_total, t.static_pass, t.seeded_tail, t.seeded_total(),
+              t.cold_total / t.seeded_total());
+}
+
+inline void PrintHandoffHeader() {
+  std::printf("%-44s %12s %12s %12s %12s %8s\n", "Algorithm", "Cold(s)",
+              "Static(s)", "Tail(s)", "Seeded(s)", "Win");
+  PrintRule(110);
+}
+
 
 }  // namespace connectit::bench
 

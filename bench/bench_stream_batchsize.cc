@@ -40,15 +40,9 @@ void RunGraph(const char* name, const EdgeList& stream) {
     if (v == nullptr) continue;
     std::printf("%-18s", row.c_str());
     for (const size_t batch : batch_sizes) {
-      const double t = bench::TimeIt([&] {
-        auto alg = v->make_streaming(stream.num_nodes);
-        for (size_t start = 0; start < stream.size(); start += batch) {
-          const size_t end = std::min(start + batch, stream.size());
-          const std::vector<Edge> b(stream.edges.begin() + start,
-                                    stream.edges.begin() + end);
-          alg->ProcessBatch(b, {});
-        }
-      });
+      const auto batches = bench::SliceBatches(stream.edges, batch);
+      auto alg = v->make_streaming(StreamingSeed::Cold(stream.num_nodes));
+      const double t = bench::DriveBatches(*alg, batches);
       std::printf(" %10.2e", static_cast<double>(stream.size()) / t);
     }
     std::printf("\n");
@@ -60,7 +54,7 @@ void RunGraph(const char* name, const EdgeList& stream) {
 int main() {
   bench::PrintTitle(
       "Figure 4/16: streaming throughput (updates/s) vs batch size");
-  const NodeId n = bench::LargeScale() ? (1u << 20) : (1u << 16);
+  const NodeId n = bench::StreamNodes();
   const EdgeList ba = GenerateBarabasiAlbertEdges(n, 10, /*seed=*/3);
   RunGraph("ba (Friendster analog)", ba);
   const Graph road = GenerateGrid(bench::LargeScale() ? 1024 : 256,
@@ -71,5 +65,21 @@ int main() {
       "small batches and grows with batch size; round-synchronous methods\n"
       "(Liu-Tarjan, SV) pay a per-batch cost proportional to n and only\n"
       "become competitive at very large batches.\n");
+
+  // The handoff counterpart of the batch-size story: small batches are
+  // where cold-start streaming loses the most against a bulk static pass.
+  bench::PrintTitle(
+      "Handoff on ba: cold streaming vs static pass + seeded tail, by "
+      "batch size (25% tail)");
+  bench::PrintHandoffHeader();
+  const connectit::Variant* rem =
+      connectit::FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  if (rem == nullptr) return 1;
+  for (const size_t batch : {1000u, 10000u, 100000u}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "Union-Rem-CAS @ batch=%zu",
+                  static_cast<size_t>(batch));
+    bench::PrintHandoffRow(label, bench::MeasureHandoff(*rem, ba, batch));
+  }
   return 0;
 }

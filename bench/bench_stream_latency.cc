@@ -14,7 +14,7 @@
 
 int main() {
   using namespace connectit;
-  const NodeId n = bench::LargeScale() ? (1u << 20) : (1u << 16);
+  const NodeId n = bench::StreamNodes();
   const EdgeList stream = GenerateRmatEdges(n, 8ull * n, /*seed=*/17);
 
   const std::vector<std::string> algos = {
@@ -32,11 +32,11 @@ int main() {
     const Variant* v = FindVariant(name);
     if (v == nullptr) continue;
     for (size_t batch = 1000; batch <= stream.size() / 4; batch *= 10) {
-      auto alg = v->make_streaming(n);
+      auto alg = v->make_streaming(StreamingSeed::Cold(n));
       std::vector<double> latencies;
-      for (size_t start = 0; start + batch <= stream.size(); start += batch) {
-        const std::vector<Edge> b(stream.edges.begin() + start,
-                                  stream.edges.begin() + start + batch);
+      for (const std::vector<Edge>& b :
+           bench::SliceBatches(stream.edges, batch)) {
+        if (b.size() < batch) break;  // keep batch sizes uniform
         latencies.push_back(bench::TimeIt([&] { alg->ProcessBatch(b, {}); }));
       }
       std::sort(latencies.begin(), latencies.end());
@@ -53,5 +53,19 @@ int main() {
       "\nExpected shape (paper): median/mean close to 1 (regular\n"
       "latencies); per-batch latency grows linearly with batch size; the\n"
       "lowest latencies come from Union-Rem-CAS with SplitAtomicOne.\n");
+
+  // Cold vs seeded: does warm-starting from a static pass change tail
+  // latency? (It should not — only the time to reach that state.)
+  bench::PrintTitle(
+      "Handoff: cold vs static pass + seeded streaming (same stream, 25% "
+      "tail, 10k batches)");
+  bench::PrintHandoffHeader();
+  for (const std::string& name : algos) {
+    const Variant* v = FindVariant(name);
+    if (v == nullptr) continue;
+    bench::PrintHandoffRow(name.c_str(),
+                           bench::MeasureHandoff(*v, stream, /*batch_size=*/
+                                                 10000));
+  }
   return 0;
 }

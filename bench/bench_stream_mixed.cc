@@ -15,7 +15,7 @@
 
 int main() {
   using namespace connectit;
-  const NodeId n = bench::LargeScale() ? (1u << 20) : (1u << 16);
+  const NodeId n = bench::StreamNodes();
   const Graph graph = GenerateErdosRenyi(n, 8ull * n, /*seed=*/5);
   const EdgeList updates = ExtractEdges(graph);
 
@@ -58,7 +58,7 @@ int main() {
       }
       const size_t total_ops = updates.size() + queries.size();
       const double t = bench::TimeIt([&] {
-        auto alg = v->make_streaming(n);
+        auto alg = v->make_streaming(StreamingSeed::Cold(n));
         alg->ProcessBatch(updates.edges, queries);
       });
       std::printf(" %8.1e", static_cast<double>(total_ops) / t);
@@ -70,5 +70,35 @@ int main() {
       "compressing find options win — queries help later queries; as the\n"
       "ratio approaches 1, FindNaive with SplitAtomicOne takes over, as in\n"
       "the static setting.\n");
+
+  // Query-heavy batches on a warm structure: seed from the static pass over
+  // the full graph, then answer a pure-query batch — the handoff's serving
+  // mode (bulk load, then read-mostly traffic).
+  bench::PrintTitle(
+      "Handoff: pure-query batch on a cold vs statically seeded structure");
+  std::printf("%-44s %14s %14s\n", "Variant", "Cold(q/s)", "Seeded(q/s)");
+  bench::PrintRule();
+  std::vector<Edge> probe;
+  probe.reserve(1u << 20);
+  for (size_t i = 0; i < (1u << 20); ++i) {
+    probe.push_back({static_cast<NodeId>(rng.GetBounded(3 * i, n)),
+                     static_cast<NodeId>(rng.GetBounded(3 * i + 1, n))});
+  }
+  for (const std::string& vn :
+       {std::string("Union-Rem-CAS;FindNaive;SplitAtomicOne"),
+        std::string("Union-Async;FindHalve")}) {
+    const Variant* v = FindVariant(vn);
+    if (v == nullptr) continue;
+    auto cold = v->make_streaming(StreamingSeed::Cold(n));
+    const double t_cold =
+        bench::TimeIt([&] { cold->ProcessBatch({}, probe); });
+    auto seeded =
+        v->make_streaming(StreamingSeed::FromStatic(bench::MakeSeedHandle(
+            updates)));
+    const double t_seeded =
+        bench::TimeIt([&] { seeded->ProcessBatch({}, probe); });
+    std::printf("%-44s %14.2e %14.2e\n", vn.c_str(), probe.size() / t_cold,
+                probe.size() / t_seeded);
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 // Streaming ingestion scenario (paper §1: insertion-heavy workloads like
-// Twitter's follow stream): ingest edge batches while answering
-// connectivity queries between and within batches.
+// Twitter's follow stream), in the bulk-load-then-stream shape real
+// deployments use: yesterday's graph is loaded with one fast static pass,
+// whose labeling seeds the streaming structure (StreamingSeed::FromStatic);
+// today's edges then arrive in batches with connectivity queries mixed in.
 
 #include <chrono>
 #include <cstdio>
@@ -16,20 +18,36 @@ int main() {
   const Variant* algorithm =
       FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
   if (algorithm == nullptr) return 1;
-  auto stream_cc = algorithm->make_streaming(n);
 
-  // Simulated follow stream: RMAT edges arriving in batches, with 10%
-  // connectivity queries mixed into every batch.
+  // Simulated follow stream: RMAT edges. The first 75% is "yesterday's
+  // graph" (bulk-loaded), the rest arrives in batches with 10% connectivity
+  // queries mixed into every batch.
   const EdgeList stream = GenerateRmatEdges(n, 8ull * n, /*seed=*/99);
+  const size_t bulk = stream.size() * 3 / 4;
+  EdgeList base;
+  base.num_nodes = n;
+  base.edges.assign(stream.edges.begin(), stream.edges.begin() + bulk);
+
+  // Warm start: the variant's own static pass over the base graph (COO
+  // handle — edge-centric, so no CSR is ever built) seeds the streaming
+  // structure with its labeling.
+  auto t0 = std::chrono::steady_clock::now();
+  auto stream_cc = algorithm->make_streaming(
+      StreamingSeed::FromStatic(GraphHandle(base)));
+  const double bulk_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("bulk-loaded %zu edges in %.3f s (%.2e edges/s, static pass)\n",
+              base.size(), bulk_seconds, base.size() / bulk_seconds);
+
   const size_t batch_size = 100000;
   Rng rng(1);
-
-  std::printf("ingesting %zu edges in batches of %zu...\n", stream.size(),
-              batch_size);
+  std::printf("ingesting remaining %zu edges in batches of %zu...\n",
+              stream.size() - bulk, batch_size);
   size_t total_queries = 0;
   size_t connected_answers = 0;
   double total_seconds = 0;
-  for (size_t start = 0; start < stream.size(); start += batch_size) {
+  for (size_t start = bulk; start < stream.size(); start += batch_size) {
     const size_t end = std::min(start + batch_size, stream.size());
     const std::vector<Edge> updates(stream.edges.begin() + start,
                                     stream.edges.begin() + end);
@@ -38,7 +56,7 @@ int main() {
       queries[q] = {static_cast<NodeId>(rng.GetBounded(start + 2 * q, n)),
                     static_cast<NodeId>(rng.GetBounded(start + 2 * q + 1, n))};
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    t0 = std::chrono::steady_clock::now();
     const std::vector<uint8_t> answers =
         stream_cc->ProcessBatch(updates, queries);
     total_seconds +=
@@ -48,7 +66,7 @@ int main() {
     for (uint8_t a : answers) connected_answers += a;
   }
   std::printf("ingest throughput : %.2e updates/s\n",
-              static_cast<double>(stream.size()) / total_seconds);
+              static_cast<double>(stream.size() - bulk) / total_seconds);
   std::printf("queries answered  : %zu (%.1f%% connected)\n", total_queries,
               100.0 * connected_answers / total_queries);
 
@@ -56,5 +74,21 @@ int main() {
   size_t roots = 0;
   for (NodeId v = 0; v < n; ++v) roots += (labels[v] == v);
   std::printf("components so far : %zu\n", roots);
+
+  // For reference: the cold alternative streams the bulk edges through
+  // batches instead of the static pass.
+  auto cold = algorithm->make_streaming(StreamingSeed::Cold(n));
+  t0 = std::chrono::steady_clock::now();
+  for (size_t start = 0; start < bulk; start += batch_size) {
+    const size_t end = std::min(start + batch_size, bulk);
+    cold->ProcessBatch(std::vector<Edge>(stream.edges.begin() + start,
+                                         stream.edges.begin() + end),
+                       {});
+  }
+  const double cold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("cold bulk ingest  : %.3f s (warm static pass: %.3f s)\n",
+              cold_seconds, bulk_seconds);
   return 0;
 }

@@ -73,6 +73,18 @@ SpanningForestResult RunForestOnHandle(const GraphHandle& handle,
   });
 }
 
+// Seeded streaming factory: cold seeds build the identity-labeled structure;
+// warm seeds run this variant's own static finish through the same
+// per-representation dispatch as Variant::run (COO-native / compressed /
+// CSR, sampled or not) and hand the labeling to the streaming constructor.
+template <typename Finish, typename StreamingT>
+std::unique_ptr<StreamingConnectivity> MakeSeededStreaming(
+    const StreamingSeed& seed) {
+  if (!seed.warm) return std::make_unique<StreamingT>(seed.n);
+  return std::make_unique<StreamingT>(
+      RunOnHandle<Finish>(seed.graph, seed.sampling));
+}
+
 // ---- union-find registration ----
 
 template <UniteOption kU, FindOption kF, SpliceOption kS>
@@ -95,9 +107,7 @@ Variant MakeUfVariant() {
   using Finish = UnionFindFinish<kU, kF, kS>;
   v.run = RunOnHandle<Finish>;
   v.run_forest = RunForestOnHandle<Finish>;
-  v.make_streaming = [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
-    return std::make_unique<UnionFindStreaming<kU, kF, kS>>(n);
-  };
+  v.make_streaming = MakeSeededStreaming<Finish, UnionFindStreaming<kU, kF, kS>>;
   return v;
 }
 
@@ -115,9 +125,7 @@ Variant MakeLtVariant() {
     v.run_forest = RunForestOnHandle<Finish>;
     v.supports_streaming = true;
     v.make_streaming =
-        [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
-      return std::make_unique<LiuTarjanStreaming<kC, kS, kA>>(n);
-    };
+        MakeSeededStreaming<Finish, LiuTarjanStreaming<kC, kS, kA>>;
   }
   return v;
 }
@@ -180,9 +188,7 @@ std::vector<Variant> BuildRegistry() {
     v.run = RunOnHandle<ShiloachVishkinFinish>;
     v.run_forest = RunForestOnHandle<ShiloachVishkinFinish>;
     v.make_streaming =
-        [](NodeId n) -> std::unique_ptr<StreamingConnectivity> {
-      return std::make_unique<ShiloachVishkinStreaming>(n);
-    };
+        MakeSeededStreaming<ShiloachVishkinFinish, ShiloachVishkinStreaming>;
     variants.push_back(std::move(v));
   }
 

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/connectit.h"
@@ -48,6 +49,41 @@ enum class AlgorithmFamily {
   kLiuTarjan,
   kStergiou,
   kLabelPropagation,
+};
+
+// How a streaming structure starts life (paper §3.5): cold over n isolated
+// vertices, or warm from the labeling a static pass produces. The warm form
+// is the static-to-streaming handoff seam — make_streaming runs the
+// variant's *own* static finish on the handle (native per representation:
+// COO edge-centric runs build no CSR, compressed runs decode in place) and
+// the streaming structure adopts the resulting labeling, so a bulk load and
+// its incremental continuation use one algorithm and one parent array
+// discipline.
+struct StreamingSeed {
+  // Cold start: n isolated vertices. Implicit so that the pre-handoff call
+  // shape make_streaming(n) stays the identity-seeded special case.
+  StreamingSeed(NodeId n) : n(n) {}
+
+  static StreamingSeed Cold(NodeId n) { return StreamingSeed(n); }
+
+  // Warm start: run this variant's static finish on `graph` under
+  // `sampling`, then adopt the labeling. The handle may wrap any
+  // representation; dispatch reuses the same RunOnHandle seam as
+  // Variant::run.
+  static StreamingSeed FromStatic(GraphHandle graph,
+                                  SamplingConfig sampling =
+                                      SamplingConfig::None()) {
+    StreamingSeed seed(graph.num_nodes());
+    seed.graph = std::move(graph);
+    seed.sampling = sampling;
+    seed.warm = true;
+    return seed;
+  }
+
+  NodeId n = 0;
+  GraphHandle graph;  // empty unless warm
+  SamplingConfig sampling;
+  bool warm = false;
 };
 
 struct Variant {
@@ -73,8 +109,10 @@ struct Variant {
   std::function<SpanningForestResult(const GraphHandle&, const SamplingConfig&)>
       run_forest;
   // Paper §3.5 batch-incremental form; null unless supports_streaming.
-  // Consumes COO batches by definition (representation-independent).
-  std::function<std::unique_ptr<StreamingConnectivity>(NodeId)>
+  // Consumes COO batches by definition (representation-independent). The
+  // seed selects a cold start (vertex count) or a warm start adopting this
+  // variant's static-pass labeling on any GraphHandle (see StreamingSeed).
+  std::function<std::unique_ptr<StreamingConnectivity>(const StreamingSeed&)>
       make_streaming;
 };
 

@@ -10,11 +10,22 @@
 //               are wait-free finds.
 //   Type (iii)— Rem's algorithms with SpliceAtomic: phase-concurrent; the
 //               batch is split into an update phase and a query phase.
+//
+// Every structure can be born empty (the NodeId constructor — identity
+// labeling) or *seeded* with the labeling of a completed static pass (the
+// vector<NodeId> constructor), which is how a bulk CSR/compressed/COO run
+// hands off to batch-incremental updates. Seeds are validated and
+// normalized by AdoptSeedLabels; the registry's make_streaming(StreamingSeed)
+// factory (registry.h) builds the seed labeling by running the variant's own
+// static finish on a GraphHandle.
 
 #ifndef CONNECTIT_CORE_STREAMING_H_
 #define CONNECTIT_CORE_STREAMING_H_
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/core/connectit.h"
@@ -26,6 +37,66 @@
 #include "src/unionfind/dsu.h"
 
 namespace connectit {
+
+// Validates that `parents` is a rooted forest over [0, parents.size()) and
+// normalizes it to the form every streaming structure can adopt as its
+// starting state: depth <= 1, each tree rooted at its minimum member. The
+// normalization preserves the partition and is required, not cosmetic —
+// Rem's unite rules link strictly from larger parent values to smaller, so
+// an adopted labeling must satisfy parents[v] <= v (the same invariant the
+// sampling phase guarantees, see sampling.h).
+//
+// Throws std::invalid_argument on an out-of-range parent or a cycle.
+inline std::vector<NodeId> AdoptSeedLabels(std::vector<NodeId> parents) {
+  const NodeId n = static_cast<NodeId>(parents.size());
+  if (n == 0) return parents;
+  std::atomic<bool> in_range{true};
+  ParallelFor(0, n, [&](size_t v) {
+    if (parents[v] >= n) in_range.store(false, std::memory_order_relaxed);
+  });
+  if (!in_range.load(std::memory_order_relaxed)) {
+    throw std::invalid_argument("streaming seed: parent id out of range");
+  }
+  // Pointer doubling: on a rooted forest every vertex reaches its root
+  // within ceil(log2(depth)) rounds. Odd-length cycles never converge (the
+  // round bound catches them); even-length cycles collapse to spurious
+  // self-loops, so converged parents are additionally required to have been
+  // roots in the *original* array.
+  std::vector<uint8_t> was_root(n);
+  ParallelFor(0, n, [&](size_t v) {
+    was_root[v] = (parents[v] == static_cast<NodeId>(v)) ? 1 : 0;
+  });
+  std::vector<NodeId> next(n);
+  // After round k every pointer spans 2^k original hops, so 8*sizeof(NodeId)
+  // rounds cover any forest depth; one extra non-converging round is a cycle.
+  const int max_rounds = 8 * static_cast<int>(sizeof(NodeId)) + 1;
+  for (int round = 0;; ++round) {
+    std::atomic<bool> changed{false};
+    ParallelFor(0, n, [&](size_t v) {
+      next[v] = parents[parents[v]];
+      if (next[v] != parents[v]) changed.store(true, std::memory_order_relaxed);
+    });
+    parents.swap(next);
+    if (!changed.load(std::memory_order_relaxed)) break;
+    if (round >= max_rounds) {
+      throw std::invalid_argument("streaming seed: parent array has a cycle");
+    }
+  }
+  std::atomic<bool> forest{true};
+  ParallelFor(0, n, [&](size_t v) {
+    if (!was_root[parents[v]]) forest.store(false, std::memory_order_relaxed);
+  });
+  if (!forest.load(std::memory_order_relaxed)) {
+    throw std::invalid_argument("streaming seed: parent array has a cycle");
+  }
+  // Re-root every tree at its minimum member (cluster-min labeling).
+  std::vector<NodeId> min_of(n, kInvalidNode);
+  ParallelFor(0, n, [&](size_t v) {
+    WriteMin(&min_of[parents[v]], static_cast<NodeId>(v));
+  });
+  ParallelFor(0, n, [&](size_t v) { parents[v] = min_of[parents[v]]; });
+  return parents;
+}
 
 // One streaming connectivity structure over vertices [0, n). Thread-safe
 // only through ProcessBatch (batches are applied one after another).
@@ -52,8 +123,17 @@ class UnionFindStreaming final : public StreamingConnectivity {
   // from queries (Type (iii)); all others interleave them (Type (i)).
   static constexpr bool kPhaseConcurrent = (kSplice == SpliceOption::kSplice);
 
+  // Cold start: the identity-seeded special case (every vertex alone).
+  // Skips AdoptSeedLabels — the identity is already normalized, and this
+  // constructor sits inside bench timing loops.
   explicit UnionFindStreaming(NodeId n)
       : labels_(IdentityLabels(n)), dsu_(labels_.data(), n) {}
+
+  // Warm start: adopts a static pass's labeling (any rooted forest; see
+  // AdoptSeedLabels) so batch updates continue from that state.
+  explicit UnionFindStreaming(std::vector<NodeId> seed)
+      : labels_(AdoptSeedLabels(std::move(seed))),
+        dsu_(labels_.data(), static_cast<NodeId>(labels_.size())) {}
 
   std::vector<uint8_t> ProcessBatch(
       const std::vector<Edge>& updates,
@@ -119,7 +199,12 @@ inline bool SameSetByWalk(const std::vector<NodeId>& parents, NodeId u,
 
 class ShiloachVishkinStreaming final : public StreamingConnectivity {
  public:
+  // Cold start: the identity-seeded special case.
   explicit ShiloachVishkinStreaming(NodeId n) : labels_(IdentityLabels(n)) {}
+
+  // Warm start from a static pass's labeling (see AdoptSeedLabels).
+  explicit ShiloachVishkinStreaming(std::vector<NodeId> seed)
+      : labels_(AdoptSeedLabels(std::move(seed))) {}
 
   std::vector<uint8_t> ProcessBatch(
       const std::vector<Edge>& updates,
@@ -150,7 +235,12 @@ class ShiloachVishkinStreaming final : public StreamingConnectivity {
 template <LtConnect kConnect, LtShortcut kShortcut, LtAlter kAlter>
 class LiuTarjanStreaming final : public StreamingConnectivity {
  public:
+  // Cold start: the identity-seeded special case.
   explicit LiuTarjanStreaming(NodeId n) : labels_(IdentityLabels(n)) {}
+
+  // Warm start from a static pass's labeling (see AdoptSeedLabels).
+  explicit LiuTarjanStreaming(std::vector<NodeId> seed)
+      : labels_(AdoptSeedLabels(std::move(seed))) {}
 
   std::vector<uint8_t> ProcessBatch(
       const std::vector<Edge>& updates,

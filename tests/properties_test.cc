@@ -91,7 +91,7 @@ TEST(Properties, StreamingPartitionsOnlyCoarsen) {
        {"Union-Async;FindSplit", "Shiloach-Vishkin", "Liu-Tarjan;PRF"}) {
     const Variant* v = FindVariant(name);
     ASSERT_NE(v, nullptr);
-    auto alg = v->make_streaming(n);
+    auto alg = v->make_streaming(StreamingSeed::Cold(n));
     std::vector<NodeId> prev = alg->Labels();
     const size_t batch = 150;
     for (size_t start = 0; start < stream.size(); start += batch) {

@@ -38,7 +38,7 @@ TEST_P(StreamingSweep, BatchesMatchStaticConnectivity) {
   ASSERT_NE(variant, nullptr);
   const NodeId n = 800;
   const EdgeList stream = GenerateRmatEdges(n, 4000, 55);
-  auto alg = variant->make_streaming(n);
+  auto alg = variant->make_streaming(StreamingSeed::Cold(n));
   ASSERT_NE(alg, nullptr);
 
   EdgeList applied;
@@ -61,7 +61,7 @@ TEST_P(StreamingSweep, QueriesReflectCompletedBatches) {
   const Variant* variant = FindVariant(GetParam());
   ASSERT_NE(variant, nullptr);
   const NodeId n = 200;
-  auto alg = variant->make_streaming(n);
+  auto alg = variant->make_streaming(StreamingSeed::Cold(n));
 
   // Build a path in two batches, probing connectivity between batches.
   std::vector<Edge> first_half;
@@ -88,7 +88,7 @@ TEST_P(StreamingSweep, MixedUpdateQueryBatchesAreSane) {
   const Variant* variant = FindVariant(GetParam());
   ASSERT_NE(variant, nullptr);
   const NodeId n = 500;
-  auto alg = variant->make_streaming(n);
+  auto alg = variant->make_streaming(StreamingSeed::Cold(n));
   Rng rng(5);
   EdgeList applied;
   applied.num_nodes = n;
@@ -134,10 +134,85 @@ INSTANTIATE_TEST_SUITE_P(AllStreaming, StreamingSweep,
 TEST(Streaming, EmptyBatchesAreNoOps) {
   const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
   ASSERT_NE(v, nullptr);
-  auto alg = v->make_streaming(10);
+  auto alg = v->make_streaming(StreamingSeed::Cold(10));
   EXPECT_TRUE(alg->ProcessBatch({}, {}).empty());
   const auto labels = alg->Labels();
   for (NodeId i = 0; i < 10; ++i) EXPECT_EQ(labels[i], i);
+}
+
+// Edge cases per streaming type — Type (i) fully concurrent union-find,
+// Type (ii) round-synchronous (SV / RootUp Liu-Tarjan), Type (iii)
+// phase-concurrent Rem with SpliceAtomic.
+const char* const kOnePerType[] = {
+    "Union-Async;FindNaive",                 // Type (i)
+    "Shiloach-Vishkin",                      // Type (ii)
+    "Liu-Tarjan;PRF",                        // Type (ii), edge-centric
+    "Union-Rem-CAS;FindNaive;SpliceAtomic",  // Type (iii)
+};
+
+TEST(StreamingEdgeCases, QueryOnlyBatchesLeaveStateUntouched) {
+  const NodeId n = 100;
+  for (const char* name : kOnePerType) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr) << name;
+    auto alg = v->make_streaming(StreamingSeed::Cold(n));
+    std::vector<Edge> path;
+    for (NodeId u = 0; u + 1 < n / 2; ++u) path.push_back({u, u + 1});
+    alg->ProcessBatch(path, {});
+    const std::vector<NodeId> before = alg->Labels();
+    // Several query-only (empty-update) batches: answers are consistent and
+    // the labeling never moves.
+    for (int round = 0; round < 3; ++round) {
+      const auto r = alg->ProcessBatch(
+          {}, {{0, n / 2 - 1}, {0, n - 1}, {n - 1, n - 1}});
+      ASSERT_EQ(r.size(), 3u) << name;
+      EXPECT_EQ(r[0], 1) << name;  // on the path
+      EXPECT_EQ(r[1], 0) << name;  // isolated tail vertex
+      EXPECT_EQ(r[2], 1) << name;  // self-query
+      EXPECT_EQ(alg->Labels(), before) << name;
+    }
+  }
+}
+
+TEST(StreamingEdgeCases, EmptyQueryBatchesReturnNoResults) {
+  const NodeId n = 64;
+  for (const char* name : kOnePerType) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr) << name;
+    auto alg = v->make_streaming(StreamingSeed::Cold(n));
+    EXPECT_TRUE(alg->ProcessBatch({{1, 2}, {2, 3}}, {}).empty()) << name;
+    EXPECT_TRUE(alg->ProcessBatch({}, {}).empty()) << name;
+    const auto labels = alg->Labels();
+    EXPECT_EQ(labels[1], labels[3]) << name;
+    EXPECT_NE(labels[0], labels[1]) << name;
+  }
+}
+
+TEST(StreamingEdgeCases, RepeatedSelfLoopUpdatesAreNoOps) {
+  const NodeId n = 50;
+  for (const char* name : kOnePerType) {
+    const Variant* v = FindVariant(name);
+    ASSERT_NE(v, nullptr) << name;
+    auto alg = v->make_streaming(StreamingSeed::Cold(n));
+    // A batch of nothing but repeated self-loops, twice over.
+    std::vector<Edge> loops(200);
+    for (size_t i = 0; i < loops.size(); ++i) {
+      const NodeId u = static_cast<NodeId>(i % n);
+      loops[i] = {u, u};
+    }
+    for (int round = 0; round < 2; ++round) {
+      const auto r = alg->ProcessBatch(loops, {{7, 7}, {7, 8}});
+      ASSERT_EQ(r.size(), 2u) << name;
+      EXPECT_EQ(r[0], 1) << name;
+      EXPECT_EQ(r[1], 0) << name;
+    }
+    const auto labels = alg->Labels();
+    for (NodeId u = 0; u < n; ++u) EXPECT_EQ(labels[u], u) << name;
+    // Self-loops mixed into a real batch don't disturb the real updates.
+    loops.push_back({10, 20});
+    alg->ProcessBatch(loops, {});
+    EXPECT_EQ(alg->Labels()[20], 10u) << name;
+  }
 }
 
 TEST(Streaming, SingleGiantBatchEqualsStatic) {
@@ -150,7 +225,7 @@ TEST(Streaming, SingleGiantBatchEqualsStatic) {
         "Liu-Tarjan;PRF"}) {
     const Variant* v = FindVariant(name);
     ASSERT_NE(v, nullptr) << name;
-    auto alg = v->make_streaming(n);
+    auto alg = v->make_streaming(StreamingSeed::Cold(n));
     alg->ProcessBatch(edges.edges, {});
     EXPECT_TRUE(SamePartition(alg->Labels(), truth)) << name;
   }
