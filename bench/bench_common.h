@@ -23,6 +23,7 @@
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph_handle.h"
+#include "src/graph/sharded.h"
 
 namespace connectit::bench {
 
@@ -31,10 +32,11 @@ inline bool LargeScale() {
   return env != nullptr && std::strcmp(env, "large") == 0;
 }
 
-// CONNECTIT_BENCH_REPR=compressed|coo runs registry-driven benches on the
-// byte-coded or COO edge-list representation instead of plain CSR — same
-// variants, same sweep, different GraphHandle. On COO, edge-centric
-// variants without sampling run natively (no CSR rebuild inside the run).
+// CONNECTIT_BENCH_REPR=compressed|coo|sharded runs registry-driven benches
+// on the byte-coded, COO edge-list, or sharded-CSR representation instead
+// of plain CSR — same variants, same sweep, different GraphHandle. On COO,
+// edge-centric variants without sampling run natively (no CSR rebuild
+// inside the run); on sharded, everything is native.
 inline GraphRepresentation BenchRepr() {
   const char* env = std::getenv("CONNECTIT_BENCH_REPR");
   if (env == nullptr || std::strcmp(env, "csr") == 0) {
@@ -44,26 +46,53 @@ inline GraphRepresentation BenchRepr() {
     return GraphRepresentation::kCompressed;
   }
   if (std::strcmp(env, "coo") == 0) return GraphRepresentation::kCoo;
+  if (std::strcmp(env, "sharded") == 0) return GraphRepresentation::kSharded;
   // Fail fast: silently benchmarking CSR under a misspelled value would
   // mislabel every number in the run.
   std::fprintf(stderr,
                "error: unknown CONNECTIT_BENCH_REPR=%s "
-               "(expected csr, compressed, or coo)\n",
+               "(expected csr, compressed, coo, or sharded)\n",
                env);
   std::exit(2);
 }
 
+// Shard count for CONNECTIT_BENCH_REPR=sharded runs:
+// CONNECTIT_BENCH_SHARDS=<P> overrides the default (hardware concurrency).
+// Fail fast on anything but a clean positive integer — like BenchRepr, a
+// silently misparsed value would mislabel every number in the run.
+inline size_t BenchShards() {
+  const char* env = std::getenv("CONNECTIT_BENCH_SHARDS");
+  if (env == nullptr) return 0;  // ShardedGraph::Partition's default
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) {
+    std::fprintf(stderr, "error: CONNECTIT_BENCH_SHARDS=%s is not a positive "
+                 "shard count\n", env);
+    std::exit(2);
+  }
+  return static_cast<size_t>(value);
+}
+
 // The handle a registry-driven bench should pass to Variant::run for this
-// suite graph: a plain view, an owning byte-coded encoding, or an owning
-// COO edge list extracted from it.
-inline GraphHandle MakeBenchHandle(const Graph& graph) {
-  switch (BenchRepr()) {
+// suite graph, in the given representation: a plain view, an owning
+// byte-coded encoding, an owning COO edge list extracted from it, or an
+// owning sharded partition of it.
+inline GraphHandle MakeBenchHandle(GraphRepresentation repr,
+                                   const Graph& graph) {
+  switch (repr) {
     case GraphRepresentation::kCompressed: return GraphHandle::Compress(graph);
     case GraphRepresentation::kCoo:
       return GraphHandle::Adopt(ExtractEdges(graph));
+    case GraphRepresentation::kSharded:
+      return GraphHandle::Shard(graph, BenchShards());
     case GraphRepresentation::kCsr: break;
   }
   return GraphHandle(graph);
+}
+
+// As above, in the representation CONNECTIT_BENCH_REPR selects.
+inline GraphHandle MakeBenchHandle(const Graph& graph) {
+  return MakeBenchHandle(BenchRepr(), graph);
 }
 
 // Wall-clock seconds for one invocation of fn.
@@ -178,13 +207,16 @@ inline HandoffSplit SplitForHandoff(const EdgeList& stream,
 
 // The GraphHandle a warm-start static pass should run on, honoring
 // CONNECTIT_BENCH_REPR: a COO view of `base` (native for edge-centric
-// variants), an owning CSR, or an owning byte-coded CSR.
+// variants), an owning CSR, an owning byte-coded CSR, or an owning sharded
+// partition.
 inline GraphHandle MakeSeedHandle(const EdgeList& base) {
   switch (BenchRepr()) {
     case GraphRepresentation::kCompressed:
       return GraphHandle::Compress(BuildGraph(base));
     case GraphRepresentation::kCsr:
       return GraphHandle::Adopt(BuildGraph(base));
+    case GraphRepresentation::kSharded:
+      return GraphHandle::Shard(BuildGraph(base), BenchShards());
     case GraphRepresentation::kCoo: break;
   }
   return GraphHandle(base);

@@ -1,8 +1,15 @@
 // Reproduces Table 3: running times of the ConnectIt finish algorithms
 // under No Sampling / k-out / BFS / LDD sampling on every suite graph, plus
-// the "Other Systems" baselines. The fastest entry per (group, graph) is
-// marked '*' and the fastest per graph overall '**', mirroring the paper's
-// green/bold highlighting.
+// the "Other Systems" baselines. The fastest entry per (group, graph,
+// representation) is marked '*' and the fastest per (graph, representation)
+// overall '**', mirroring the paper's green/bold highlighting.
+//
+// One invocation reports the CSR, byte-compressed, and sharded-CSR columns
+// side by side (a "Repr" sub-row per algorithm row), so comparing
+// representations no longer takes three CONNECTIT_BENCH_REPR runs. Setting
+// CONNECTIT_BENCH_REPR restricts the table to that single representation
+// (any of csr/compressed/coo/sharded), preserving the old single-column
+// behavior.
 
 #include <cstdio>
 #include <map>
@@ -45,46 +52,74 @@ const std::vector<std::pair<std::string, SamplingOption>> kGroups = {
     {"LDD Sampling", SamplingOption::kLdd},
 };
 
+// The representations reported side by side. With CONNECTIT_BENCH_REPR set,
+// only that one (bench::MakeBenchHandle's behavior) is timed.
+std::vector<GraphRepresentation> TableReprs() {
+  if (std::getenv("CONNECTIT_BENCH_REPR") != nullptr) {
+    return {bench::BenchRepr()};
+  }
+  return {GraphRepresentation::kCsr, GraphRepresentation::kCompressed,
+          GraphRepresentation::kSharded};
+}
+
 }  // namespace
 
 int main() {
   const auto suite = bench::Suite();
-  // One GraphHandle per suite graph: the ConnectIt rows below are
-  // representation-generic (CONNECTIT_BENCH_REPR=compressed|coo reruns the
-  // whole table on the byte-coded or COO edge-list format); the "Other
-  // Systems" baselines are CSR-only and always run on the plain graphs.
-  std::vector<GraphHandle> handles;
-  for (const auto& bg : suite) handles.push_back(bench::MakeBenchHandle(bg.graph));
+  const std::vector<GraphRepresentation> reprs = TableReprs();
   bench::PrintTitle(
       "Table 3: ConnectIt running times (s); '*' fastest in group, "
-      "'**' fastest overall per graph");
-  std::printf("ConnectIt representation: %s\n",
-              handles.empty() ? "csr" : handles.front().representation_name());
+      "'**' fastest overall per (graph, repr)");
+  std::printf("ConnectIt representations:");
+  for (const GraphRepresentation r : reprs) std::printf(" %s", ToString(r));
+  std::printf("\n");
 
-  // times[group][row][graph]
-  std::map<std::string, std::map<std::string, std::vector<double>>> times;
-  std::vector<double> best_per_graph(suite.size(), 1e300);
-
+  // times[group][row][repr][graph]
+  std::map<std::string,
+           std::map<std::string, std::vector<std::vector<double>>>>
+      times;
   for (const auto& [group_name, sampling] : kGroups) {
-    SamplingConfig config;
-    config.option = sampling;
+    (void)sampling;
     for (const auto& [row_name, variant_names] : kRows) {
-      std::vector<double>& row = times[group_name][row_name];
-      row.assign(suite.size(), 1e300);
-      for (const std::string& vn : variant_names) {
-        const Variant* v = FindVariant(vn);
-        if (v == nullptr) continue;
-        for (size_t g = 0; g < suite.size(); ++g) {
-          const double t = bench::TimeBest(
-              [&] { v->run(handles[g], config); }, 2);
-          row[g] = std::min(row[g], t);
-          best_per_graph[g] = std::min(best_per_graph[g], row[g]);
+      (void)variant_names;
+      times[group_name][row_name].assign(
+          reprs.size(), std::vector<double>(suite.size(), 1e300));
+    }
+  }
+  // best[repr][graph], across all groups and rows.
+  std::vector<std::vector<double>> best_per_graph(
+      reprs.size(), std::vector<double>(suite.size(), 1e300));
+
+  // Representation-major: only one representation's handles are alive at a
+  // time, so a multi-column run peaks at one extra copy of the suite, not
+  // one per column. The ConnectIt rows are representation-generic; the
+  // "Other Systems" baselines are CSR-only and always run on the plain
+  // graphs.
+  for (size_t r = 0; r < reprs.size(); ++r) {
+    std::vector<GraphHandle> handles;
+    for (const auto& bg : suite) {
+      handles.push_back(bench::MakeBenchHandle(reprs[r], bg.graph));
+    }
+    for (const auto& [group_name, sampling] : kGroups) {
+      SamplingConfig config;
+      config.option = sampling;
+      for (const auto& [row_name, variant_names] : kRows) {
+        auto& row = times[group_name][row_name];
+        for (const std::string& vn : variant_names) {
+          const Variant* v = FindVariant(vn);
+          if (v == nullptr) continue;
+          for (size_t g = 0; g < suite.size(); ++g) {
+            const double t = bench::TimeBest(
+                [&] { v->run(handles[g], config); }, 2);
+            row[r][g] = std::min(row[r][g], t);
+            best_per_graph[r][g] = std::min(best_per_graph[r][g], row[r][g]);
+          }
         }
       }
     }
   }
 
-  // Other systems (static baselines, no sampling groups).
+  // Other systems (static baselines, no sampling groups). CSR-only.
   std::map<std::string, std::vector<double>> others;
   const std::vector<
       std::pair<std::string, std::function<std::vector<NodeId>(const Graph&)>>>
@@ -104,68 +139,83 @@ int main() {
     }
   }
 
-  // Print.
-  std::printf("%-18s %-26s", "Group", "Algorithm");
+  // Print: one sub-row per representation under each algorithm row; marks
+  // are computed within a representation's column family so each column
+  // reads like the paper's single-representation table.
+  std::printf("%-18s %-26s %-11s", "Group", "Algorithm", "Repr");
   for (const auto& bg : suite) std::printf(" %11s", bg.name.c_str());
   std::printf("\n");
-  bench::PrintRule();
+  bench::PrintRule(115);
   for (const auto& [group_name, sampling] : kGroups) {
     (void)sampling;
-    // Fastest per column within the group.
-    std::vector<double> group_best(suite.size(), 1e300);
+    // Fastest per (repr, column) within the group.
+    std::vector<std::vector<double>> group_best(
+        reprs.size(), std::vector<double>(suite.size(), 1e300));
     for (const auto& [row_name, row] : times[group_name]) {
-      for (size_t g = 0; g < suite.size(); ++g) {
-        group_best[g] = std::min(group_best[g], row[g]);
+      for (size_t r = 0; r < reprs.size(); ++r) {
+        for (size_t g = 0; g < suite.size(); ++g) {
+          group_best[r][g] = std::min(group_best[r][g], row[r][g]);
+        }
       }
     }
     for (const auto& [row_name, variant_names] : kRows) {
-      const std::vector<double>& row = times[group_name][row_name];
-      std::printf("%-18s %-26s", group_name.c_str(), row_name.c_str());
-      for (size_t g = 0; g < suite.size(); ++g) {
-        const char* mark = "";
-        if (row[g] <= best_per_graph[g]) {
-          mark = "**";
-        } else if (row[g] <= group_best[g]) {
-          mark = "*";
+      const auto& row = times[group_name][row_name];
+      for (size_t r = 0; r < reprs.size(); ++r) {
+        std::printf("%-18s %-26s %-11s",
+                    r == 0 ? group_name.c_str() : "",
+                    r == 0 ? row_name.c_str() : "", ToString(reprs[r]));
+        for (size_t g = 0; g < suite.size(); ++g) {
+          const char* mark = "";
+          if (row[r][g] <= best_per_graph[r][g]) {
+            mark = "**";
+          } else if (row[r][g] <= group_best[r][g]) {
+            mark = "*";
+          }
+          std::printf(" %9.2e%-2s", row[r][g], mark);
         }
-        std::printf(" %9.2e%-2s", row[g], mark);
+        std::printf("\n");
       }
-      std::printf("\n");
     }
-    bench::PrintRule();
+    bench::PrintRule(115);
   }
   for (const auto& [name, fn] : other_algos) {
     (void)fn;
-    std::printf("%-18s %-26s", "Other Systems", name.c_str());
+    std::printf("%-18s %-26s %-11s", "Other Systems", name.c_str(), "csr");
     for (size_t g = 0; g < suite.size(); ++g) {
       std::printf(" %9.2e  ", others[name][g]);
     }
     std::printf("\n");
   }
-  bench::PrintRule();
+  bench::PrintRule(115);
 
   // Paper-shape summary: speedup of the fastest sampled ConnectIt entry
-  // over the fastest unsampled entry, and over the fastest other system.
+  // over the fastest unsampled entry, and over the fastest other system —
+  // per representation.
   std::printf("\nPer-graph summary (paper §4.2-4.3 claims):\n");
-  for (size_t g = 0; g < suite.size(); ++g) {
-    double best_nosample = 1e300;
-    for (const auto& [row_name, row] : times["No Sampling"]) {
-      best_nosample = std::min(best_nosample, row[g]);
+  for (size_t r = 0; r < reprs.size(); ++r) {
+    for (size_t g = 0; g < suite.size(); ++g) {
+      double best_nosample = 1e300;
+      for (const auto& [row_name, row] : times["No Sampling"]) {
+        best_nosample = std::min(best_nosample, row[r][g]);
+      }
+      double best_other = 1e300;
+      for (const auto& [name, row] : others) {
+        best_other = std::min(best_other, row[g]);
+      }
+      std::printf(
+          "  %-10s %-8s fastest-sampled=%.2e  vs no-sampling: %.2fx  vs "
+          "other-systems: %.2fx\n",
+          ToString(reprs[r]), suite[g].name.c_str(), best_per_graph[r][g],
+          best_nosample / best_per_graph[r][g],
+          best_other / best_per_graph[r][g]);
     }
-    double best_other = 1e300;
-    for (const auto& [name, row] : others) {
-      best_other = std::min(best_other, row[g]);
-    }
-    std::printf(
-        "  %-8s fastest-sampled=%.2e  vs no-sampling: %.2fx  vs "
-        "other-systems: %.2fx\n",
-        suite[g].name.c_str(), best_per_graph[g],
-        best_nosample / best_per_graph[g], best_other / best_per_graph[g]);
   }
 
   // ConnectIt can also express Afforest's deterministic first-k sampling
   // (KOutVariant::kAfforest); show it next to the GAPBS Afforest baseline
-  // for an apples-to-apples comparison of the frameworks.
+  // for an apples-to-apples comparison of the frameworks. Both sides run
+  // on plain CSR regardless of the table's representation columns (the
+  // baseline supports nothing else).
   std::printf(
       "\nConnectIt with afforest-style k-out (vs GAPBS Afforest row):\n");
   {
@@ -173,8 +223,8 @@ int main() {
     SamplingConfig config = SamplingConfig::KOut();
     config.kout.variant = KOutVariant::kAfforest;
     for (size_t g = 0; g < suite.size(); ++g) {
-      const double t =
-          bench::TimeBest([&] { v->run(handles[g], config); }, 2);
+      const GraphHandle csr(suite[g].graph);
+      const double t = bench::TimeBest([&] { v->run(csr, config); }, 2);
       std::printf("  %-8s %.2e (GAPBS Afforest: %.2e)\n",
                   suite[g].name.c_str(), t, others["GAPBS (Afforest)"][g]);
     }

@@ -1,8 +1,8 @@
 // Command-line connectivity tool: the "downstream user" entry point.
 //
 // Usage:
-//   connectit_cli [--repr=<csr|compressed|coo>] [--stream=<B>x<S>]
-//                 <edge-list-file> [variant] [sampling]
+//   connectit_cli [--repr=<csr|compressed|coo|sharded>] [--shards=<P>]
+//                 [--stream=<B>x<S>] <edge-list-file> [variant] [sampling]
 //   connectit_cli [--repr=...] [--stream=<B>x<S>] --generate
 //                 <rmat|grid|ba|er> <n> [variant] [sampling]
 //   connectit_cli --list
@@ -16,6 +16,11 @@
 //               "csr materializations" line stays 0, proving no CSR was
 //               built; adjacency-dependent runs materialize (and cache)
 //               one CSR inside the handle.
+// --repr=sharded [--shards=P]: partition the CSR into P vertex-contiguous
+//               shards (default: hardware concurrency) and run on the
+//               shards. Every variant × sampling combination is native on
+//               this representation — the printed "flat csr
+//               materializations" line stays 0 for every run.
 // --stream=<B>x<S>: static-to-streaming handoff mode. The last B*S edges
 //               are held out; the variant's static pass runs over the rest
 //               (on the chosen representation), its labeling seeds the
@@ -31,6 +36,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -43,6 +49,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph_handle.h"
 #include "src/graph/io.h"
+#include "src/graph/sharded.h"
 
 namespace {
 
@@ -57,13 +64,14 @@ SamplingConfig ParseSampling(const std::string& name) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: connectit_cli [--repr=<csr|compressed|coo>] "
-               "[--stream=<batches>x<batch-size>] "
+               "usage: connectit_cli [--repr=<csr|compressed|coo|sharded>] "
+               "[--shards=<P>] [--stream=<batches>x<batch-size>] "
                "<edge-list-file> [variant] [sampling]\n"
                "       connectit_cli [--repr=...] [--stream=...] --generate "
                "<rmat|grid|ba|er> <n> [variant] [sampling]\n"
                "       connectit_cli --list\n"
-               "(--compressed is an alias for --repr=compressed)\n");
+               "(--compressed is an alias for --repr=compressed; --shards "
+               "defaults to hardware concurrency)\n");
   return 2;
 }
 
@@ -75,9 +83,10 @@ double Seconds(const std::chrono::steady_clock::time_point& t0) {
 // --stream mode: static pass over all but the held-out tail, seed the
 // variant's streaming structure with its labeling, stream the tail in
 // batches, and verify against a full static run.
-int RunStreamMode(GraphRepresentation repr, const EdgeList& all,
-                  const Variant& variant, const std::string& sampling_name,
-                  size_t num_batches, size_t batch_size) {
+int RunStreamMode(GraphRepresentation repr, size_t num_shards,
+                  const EdgeList& all, const Variant& variant,
+                  const std::string& sampling_name, size_t num_batches,
+                  size_t batch_size) {
   if (!variant.supports_streaming) {
     std::fprintf(stderr, "error: %s does not support streaming (try --list)\n",
                  variant.name.c_str());
@@ -112,6 +121,10 @@ int RunStreamMode(GraphRepresentation repr, const EdgeList& all,
       base_handle = GraphHandle(base);
       full_handle = GraphHandle(all);
       break;
+    case GraphRepresentation::kSharded:
+      base_handle = GraphHandle::Shard(BuildGraph(base), num_shards);
+      full_handle = GraphHandle::Shard(BuildGraph(all), num_shards);
+      break;
   }
 
   std::printf("graph: n=%u, m=%zu (%zu bulk + %zu streamed), "
@@ -121,7 +134,9 @@ int RunStreamMode(GraphRepresentation repr, const EdgeList& all,
   std::printf("algorithm: %s (+%s), handoff %zux%zu\n", variant.name.c_str(),
               sampling_name.c_str(), num_batches, batch_size);
 
-  const uint64_t builds_before = CooCsrMaterializations();
+  const uint64_t builds_before = (repr == GraphRepresentation::kSharded)
+                                     ? ShardedCsrMaterializations()
+                                     : CooCsrMaterializations();
   auto t0 = std::chrono::steady_clock::now();
   auto streaming =
       variant.make_streaming(StreamingSeed::FromStatic(base_handle, sampling));
@@ -151,6 +166,11 @@ int RunStreamMode(GraphRepresentation repr, const EdgeList& all,
     std::printf("csr materializations: %llu\n",
                 static_cast<unsigned long long>(CooCsrMaterializations() -
                                                 builds_before));
+  } else if (repr == GraphRepresentation::kSharded) {
+    // Every seed is sharded-native: this must print 0.
+    std::printf("flat csr materializations: %llu\n",
+                static_cast<unsigned long long>(ShardedCsrMaterializations() -
+                                                builds_before));
   }
 
   // The handoff invariant: seeded streaming over the tail must land on the
@@ -169,8 +189,10 @@ int RunStreamMode(GraphRepresentation repr, const EdgeList& all,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the representation and streaming flags wherever they appear.
+  // Strip the representation, sharding, and streaming flags wherever they
+  // appear.
   GraphRepresentation repr = GraphRepresentation::kCsr;
+  size_t num_shards = 0;  // 0 = ShardedGraph's default (hardware concurrency)
   size_t stream_batches = 0;
   size_t stream_batch_size = 0;
   int out = 1;
@@ -180,11 +202,22 @@ int main(int argc, char** argv) {
       repr = GraphRepresentation::kCompressed;
     } else if (std::strcmp(argv[i], "--repr=coo") == 0) {
       repr = GraphRepresentation::kCoo;
+    } else if (std::strcmp(argv[i], "--repr=sharded") == 0) {
+      repr = GraphRepresentation::kSharded;
     } else if (std::strcmp(argv[i], "--repr=csr") == 0) {
       repr = GraphRepresentation::kCsr;
     } else if (std::strncmp(argv[i], "--repr=", 7) == 0) {
       std::fprintf(stderr, "error: unknown representation %s\n", argv[i] + 7);
       return Usage();
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i] + 9, &end, 10);
+      if (end == argv[i] + 9 || *end != '\0' || value <= 0) {
+        std::fprintf(stderr, "error: --shards expects a positive count, got %s\n",
+                     argv[i] + 9);
+        return Usage();
+      }
+      num_shards = static_cast<size_t>(value);
     } else if (std::strncmp(argv[i], "--stream=", 9) == 0) {
       if (std::sscanf(argv[i] + 9, "%zux%zu", &stream_batches,
                       &stream_batch_size) != 2 ||
@@ -262,8 +295,8 @@ int main(int argc, char** argv) {
   }
 
   if (stream_batches > 0) {
-    return RunStreamMode(repr, edges, *variant, sampling_name, stream_batches,
-                         stream_batch_size);
+    return RunStreamMode(repr, num_shards, edges, *variant, sampling_name,
+                         stream_batches, stream_batch_size);
   }
 
   GraphHandle handle;
@@ -273,6 +306,10 @@ int main(int argc, char** argv) {
       handle = GraphHandle::Compress(graph);
       break;
     case GraphRepresentation::kCoo: handle = GraphHandle(edges); break;
+    case GraphRepresentation::kSharded:
+      handle = GraphHandle::Shard(graph, num_shards);
+      graph = Graph();  // the shards own a copy; drop the flat CSR
+      break;
   }
   std::printf("graph: n=%u, m=%llu, representation=%s\n", handle.num_nodes(),
               static_cast<unsigned long long>(handle.num_edges()),
@@ -282,7 +319,14 @@ int main(int argc, char** argv) {
                 handle.compressed()->byte_size(),
                 static_cast<size_t>(graph.num_arcs()) * sizeof(NodeId));
   }
-  const uint64_t builds_before = CooCsrMaterializations();
+  if (repr == GraphRepresentation::kSharded) {
+    std::printf("shards: %zu (%u vertices each)\n",
+                handle.sharded()->num_shards(),
+                handle.sharded()->shard_width());
+  }
+  const uint64_t builds_before = (repr == GraphRepresentation::kSharded)
+                                     ? ShardedCsrMaterializations()
+                                     : CooCsrMaterializations();
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<NodeId> labels =
       variant->run(handle, ParseSampling(sampling_name));
@@ -299,6 +343,11 @@ int main(int argc, char** argv) {
     // 0 = the run stayed COO-native end to end.
     std::printf("csr materializations: %llu\n",
                 static_cast<unsigned long long>(CooCsrMaterializations() -
+                                                builds_before));
+  } else if (repr == GraphRepresentation::kSharded) {
+    // Always 0: every variant × sampling combination is sharded-native.
+    std::printf("flat csr materializations: %llu\n",
+                static_cast<unsigned long long>(ShardedCsrMaterializations() -
                                                 builds_before));
   }
   std::printf("components: %u\n", num_components);

@@ -6,9 +6,10 @@
 //   graph_tool convert <in.el> <out.bin>          (text -> binary CSR)
 //   graph_tool stats <in.el|in.bin>
 //   graph_tool compress <in.el|in.bin>            (report byte-code sizes and
-//                                                  check CSR vs compressed
-//                                                  and CSR vs COO
-//                                                  connectivity parity)
+//                                                  check CSR vs compressed,
+//                                                  CSR vs COO, and CSR vs
+//                                                  sharded connectivity
+//                                                  parity)
 
 #include <cmath>
 #include <cstdio>
@@ -149,7 +150,11 @@ int main(int argc, char** argv) {
     const bool coo_parity = SamePartition(csr_labels, v->run(coo, {}));
     std::printf("csr/coo connectivity parity: %s\n",
                 coo_parity ? "ok" : "MISMATCH");
-    return (compressed_parity && coo_parity) ? 0 : 1;
+    const GraphHandle sharded = GraphHandle::Shard(graph);
+    const bool sharded_parity = SamePartition(csr_labels, v->run(sharded, {}));
+    std::printf("csr/sharded connectivity parity: %s\n",
+                sharded_parity ? "ok" : "MISMATCH");
+    return (compressed_parity && coo_parity && sharded_parity) ? 0 : 1;
   }
   return Usage();
 }

@@ -37,6 +37,15 @@ struct HasCooForest<Finish, std::void_t<decltype(Finish::ForestOnCoo(
 // adjacency (k-out degrees, BFS/LDD traversal), so sampled runs — and
 // vertex-centric finish methods — use the CSR cached inside the handle
 // (built once, shared by handle copies).
+//
+// Representations that serve the full adjacency surface take the generic
+// branch with no per-representation code here at all: CSR, compressed CSR,
+// and sharded CSR (ShardedGraph) all instantiate
+// RunConnectivity/RunSpanningForest directly, so every sampling scheme and
+// finish family is native on them by construction. This is the walkthrough
+// claim ARCHITECTURE.md makes — adding such a representation ends at the
+// GraphHandle arm — and the sharded diff proved it: this file's code did
+// not change.
 template <typename Finish>
 std::vector<NodeId> RunOnHandle(const GraphHandle& handle,
                                 const SamplingConfig& sampling) {

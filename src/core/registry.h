@@ -15,12 +15,16 @@
 //
 // The graph representation is orthogonal too: run/run_forest take a
 // type-erased GraphHandle (graph_handle.h), so every variant executes
-// uniformly on plain CSR, byte-compressed CSR, or COO input; the templated
-// finish adapters are instantiated per representation behind
+// uniformly on plain CSR, byte-compressed CSR, COO, or sharded-CSR input;
+// the templated finish adapters are instantiated per representation behind
 // GraphHandle::Visit. Edge-centric families (union-find, Liu-Tarjan,
 // Stergiou) run *natively* on COO handles when unsampled — no CSR is built;
 // adjacency-dependent work (any sampling scheme, Shiloach-Vishkin, label
-// propagation) transparently uses the CSR cached inside the handle. A
+// propagation) transparently uses the CSR cached inside the handle.
+// Sharded handles (ShardedGraph, a vertex-partitioned CSR) serve the full
+// adjacency surface, so the entire variant × sampling space runs on the
+// shards natively — the flat-CSR fallback is never taken
+// (ShardedCsrMaterializations() stays flat across registry runs). A
 // `const Graph&` still works at every call site via GraphHandle's implicit
 // view conversion. ARCHITECTURE.md documents the dispatch contract and the
 // per-family native-representation matrix.
@@ -55,10 +59,10 @@ enum class AlgorithmFamily {
 // vertices, or warm from the labeling a static pass produces. The warm form
 // is the static-to-streaming handoff seam — make_streaming runs the
 // variant's *own* static finish on the handle (native per representation:
-// COO edge-centric runs build no CSR, compressed runs decode in place) and
-// the streaming structure adopts the resulting labeling, so a bulk load and
-// its incremental continuation use one algorithm and one parent array
-// discipline.
+// COO edge-centric runs build no CSR, compressed runs decode in place,
+// sharded runs traverse the shards directly) and the streaming structure
+// adopts the resulting labeling, so a bulk load and its incremental
+// continuation use one algorithm and one parent array discipline.
 struct StreamingSeed {
   // Cold start: n isolated vertices. Implicit so that the pre-handoff call
   // shape make_streaming(n) stays the identity-seeded special case.
@@ -97,10 +101,11 @@ struct Variant {
   bool supports_streaming = false;
 
   // Paper Algorithm 1 (Connectivity): sampling phase (§3.2) + this
-  // variant's finish phase. Native on CSR and compressed CSR for every
-  // family; native on COO for the edge-centric families (union-find §3.3.1,
-  // Liu-Tarjan §3.3.2/App. D, Stergiou §B.2.5) when sampling is kNone,
-  // via the handle's cached CSR otherwise.
+  // variant's finish phase. Native on CSR, compressed CSR, and sharded CSR
+  // for every family (sharded traversals schedule shard-major — see
+  // ShardedGraph::MapArcs); native on COO for the edge-centric families
+  // (union-find §3.3.1, Liu-Tarjan §3.3.2/App. D, Stergiou §B.2.5) when
+  // sampling is kNone, via the handle's cached CSR otherwise.
   std::function<std::vector<NodeId>(const GraphHandle&, const SamplingConfig&)>
       run;
   // Paper Algorithm 2 (SpanningForest); null unless root_based (App. B.2).

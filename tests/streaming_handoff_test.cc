@@ -4,7 +4,8 @@
 // by streamed insertion batches, must land on the same partition as a
 // static run over G0 plus the batches — for every supports_streaming
 // variant, on every graph representation. COO seeds of edge-centric
-// variants must stay COO-native: zero CSR materializations.
+// variants must stay COO-native: zero CSR materializations. Sharded seeds
+// are native for *every* variant: zero flat-CSR flattens.
 
 #include <cctype>
 #include <string>
@@ -56,7 +57,7 @@ std::vector<HandoffCase> AllHandoffCases() {
   for (const Variant* v : StreamingVariants()) {
     for (const GraphRepresentation repr :
          {GraphRepresentation::kCsr, GraphRepresentation::kCompressed,
-          GraphRepresentation::kCoo}) {
+          GraphRepresentation::kCoo, GraphRepresentation::kSharded}) {
       cases.push_back({v->name, repr});
     }
   }
@@ -95,9 +96,14 @@ TEST_P(SeededHandoff, StaticPassPlusBatchesEqualsFullStatic) {
     case GraphRepresentation::kCoo:
       handle = GraphHandle(base);
       break;
+    case GraphRepresentation::kSharded:
+      // A fixed P > 1 exercises shard boundaries even on 1-core runners.
+      handle = GraphHandle::Shard(BuildGraph(base), /*num_shards=*/4);
+      break;
   }
 
   const uint64_t builds_before = CooCsrMaterializations();
+  const uint64_t flattens_before = ShardedCsrMaterializations();
   auto alg =
       variant->make_streaming(StreamingSeed::FromStatic(handle));
   ASSERT_NE(alg, nullptr);
@@ -106,6 +112,12 @@ TEST_P(SeededHandoff, StaticPassPlusBatchesEqualsFullStatic) {
     // Edge-centric families (union-find, Liu-Tarjan) seed COO-natively.
     EXPECT_EQ(CooCsrMaterializations(), builds_before)
         << "COO seed materialized a CSR";
+  }
+  if (GetParam().repr == GraphRepresentation::kSharded) {
+    // Every family seeds sharded-natively: the static pass traverses the
+    // shards, never a flattened CSR.
+    EXPECT_EQ(ShardedCsrMaterializations(), flattens_before)
+        << "sharded seed flattened to a CSR";
   }
 
   // The seed alone must already match static connectivity on the base.
