@@ -20,9 +20,7 @@
 int main() {
   using namespace connectit;
   const auto suite = bench::Suite();
-  const Variant* fastest =
-      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (fastest == nullptr) return 1;
+  const Variant* fastest = &DefaultVariant();
 
   // ---- A1: IdentifyFrequent sampled vs exact ----
   bench::PrintTitle("Ablation A1: IdentifyFrequent — sampled vs exact");

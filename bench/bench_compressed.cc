@@ -21,11 +21,7 @@ int main() {
   bench::PrintTitle(
       "Compressed pipeline: byte-coded CSR size and connectivity cost "
       "(Union-Rem-CAS, k-out sampling)");
-  const Variant* rem = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (rem == nullptr) {
-    std::fprintf(stderr, "error: default variant missing from registry\n");
-    return 1;
-  }
+  const Variant* rem = &DefaultVariant();
   std::printf("%-10s %12s %12s %8s %14s %14s %10s\n", "Graph", "Raw(MB)",
               "Coded(MB)", "Ratio", "CC plain(s)", "CC coded(s)", "Slowdown");
   const auto suite = bench::Suite();
@@ -64,8 +60,7 @@ int main() {
   std::printf("%-42s %14s %14s %10s\n", "Variant", "plain(s)", "coded(s)",
               "Slowdown");
   for (const char* name : reps) {
-    const Variant* v = FindVariant(name);
-    if (v == nullptr) continue;
+    const Variant* v = &GetVariantOrDie(name);
     const double t_plain = bench::TimeBest([&] { v->run(plain, {}); }, 2);
     const double t_coded = bench::TimeBest([&] { v->run(coded, {}); }, 2);
     std::printf("%-42s %14.3e %14.3e %9.2fx\n", name, t_plain, t_coded,

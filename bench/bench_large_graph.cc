@@ -45,8 +45,7 @@ int main() {
   entries.push_back(
       {"GAPBS (Afforest)", bench::TimeIt([&] { AfforestCC(graph); })});
 
-  const Variant* fastest =
-      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  const Variant* fastest = &DefaultVariant();
   entries.push_back(
       {"ConnectIt (no sampling)",
        bench::TimeIt([&] { fastest->run(graph, SamplingConfig::None()); })});

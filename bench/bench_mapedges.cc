@@ -11,8 +11,7 @@
 
 int main() {
   using namespace connectit;
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (v == nullptr) return 1;
+  const Variant* v = &DefaultVariant();
 
   bench::PrintTitle(
       "Table 8: MapEdges / GatherEdges vs fastest ConnectIt (seconds)");

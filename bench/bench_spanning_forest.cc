@@ -26,8 +26,8 @@ int main() {
   double sum_overhead = 0;
   size_t count = 0;
   for (const std::string& name : algos) {
-    const Variant* v = FindVariant(name);
-    if (v == nullptr || !v->root_based) continue;
+    const Variant* v = &GetVariantOrDie(name);
+    if (!v->root_based) continue;
     for (const auto& [gname, graph] : bench::Suite()) {
       const double cc = bench::TimeBest([&] { v->run(graph, {}); }, 2);
       const double sf =

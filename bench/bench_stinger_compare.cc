@@ -15,8 +15,7 @@
 int main() {
   using namespace connectit;
   const NodeId n = bench::LargeScale() ? (1u << 20) : (1u << 17);
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (v == nullptr) return 1;
+  const Variant* v = &DefaultVariant();
 
   bench::PrintTitle(
       "Table 5: STINGER-style streaming CC vs ConnectIt (RMAT inserts into "

@@ -36,8 +36,7 @@ void RunGraph(const char* name, const EdgeList& stream) {
   std::printf("\n");
   bench::PrintRule();
   for (const auto& [row, vn] : kAlgos) {
-    const Variant* v = FindVariant(vn);
-    if (v == nullptr) continue;
+    const Variant* v = &GetVariantOrDie(vn);
     std::printf("%-18s", row.c_str());
     for (const size_t batch : batch_sizes) {
       const auto batches = bench::SliceBatches(stream.edges, batch);
@@ -72,9 +71,7 @@ int main() {
       "Handoff on ba: cold streaming vs static pass + seeded tail, by "
       "batch size (25% tail)");
   bench::PrintHandoffHeader();
-  const connectit::Variant* rem =
-      connectit::FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (rem == nullptr) return 1;
+  const connectit::Variant* rem = &connectit::DefaultVariant();
   for (const size_t batch : {1000u, 10000u, 100000u}) {
     char label[64];
     std::snprintf(label, sizeof label, "Union-Rem-CAS @ batch=%zu",

@@ -29,8 +29,7 @@ int main() {
   std::printf("%-44s %10s %12s %12s %12s %10s\n", "Algorithm", "BatchSize",
               "Median(s)", "Mean(s)", "P99(s)", "Med/Mean");
   for (const std::string& name : algos) {
-    const Variant* v = FindVariant(name);
-    if (v == nullptr) continue;
+    const Variant* v = &GetVariantOrDie(name);
     for (size_t batch = 1000; batch <= stream.size() / 4; batch *= 10) {
       auto alg = v->make_streaming(StreamingSeed::Cold(n));
       std::vector<double> latencies;
@@ -61,8 +60,7 @@ int main() {
       "tail, 10k batches)");
   bench::PrintHandoffHeader();
   for (const std::string& name : algos) {
-    const Variant* v = FindVariant(name);
-    if (v == nullptr) continue;
+    const Variant* v = &GetVariantOrDie(name);
     bench::PrintHandoffRow(name.c_str(),
                            bench::MeasureHandoff(*v, stream, /*batch_size=*/
                                                  10000));

@@ -42,8 +42,7 @@ int main() {
 
   Rng rng(123);
   for (const std::string& vn : variants) {
-    const Variant* v = FindVariant(vn);
-    if (v == nullptr) continue;
+    const Variant* v = &GetVariantOrDie(vn);
     std::printf("%-44s", vn.c_str());
     for (const double ratio : ratios) {
       // Queries per update = 1/ratio (rounded).
@@ -87,8 +86,7 @@ int main() {
   for (const std::string& vn :
        {std::string("Union-Rem-CAS;FindNaive;SplitAtomicOne"),
         std::string("Union-Async;FindHalve")}) {
-    const Variant* v = FindVariant(vn);
-    if (v == nullptr) continue;
+    const Variant* v = &GetVariantOrDie(vn);
     auto cold = v->make_streaming(StreamingSeed::Cold(n));
     const double t_cold =
         bench::TimeIt([&] { cold->ProcessBatch({}, probe); });

@@ -58,8 +58,8 @@ int main() {
     std::vector<double>& row = rows[row_name];
     row.assign(streams.size(), 0.0);
     for (const std::string& vn : variants) {
-      const Variant* v = FindVariant(vn);
-      if (v == nullptr || !v->supports_streaming) continue;
+      const Variant* v = &GetVariantOrDie(vn);
+      if (!v->supports_streaming) continue;
       for (size_t s = 0; s < streams.size(); ++s) {
         const EdgeList& stream = streams[s].second;
         const double t = bench::TimeBest(
@@ -102,8 +102,8 @@ int main() {
   }
   if (rmat == nullptr) return 1;
   for (const auto& [row_name, variants] : kRows) {
-    const Variant* v = FindVariant(variants.front());
-    if (v == nullptr || !v->supports_streaming) continue;
+    const Variant* v = &GetVariantOrDie(variants.front());
+    if (!v->supports_streaming) continue;
     bench::PrintHandoffRow(
         row_name.c_str(), bench::MeasureHandoff(*v, *rmat, /*batch_size=*/
                                                 100000));

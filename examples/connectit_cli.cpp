@@ -1,4 +1,7 @@
-// Command-line connectivity tool: the "downstream user" entry point.
+// Command-line connectivity tool: the "downstream user" entry point,
+// built on the connectit::Connectivity serving façade (the variant name is
+// parsed into a typed descriptor; unknown names die with a nearest-match
+// suggestion).
 //
 // Usage:
 //   connectit_cli [--repr=<csr|compressed|coo|sharded>] [--shards=<P>]
@@ -7,7 +10,8 @@
 //                 <rmat|grid|ba|er> <n> [variant] [sampling]
 //   connectit_cli --list
 //
-// variant:  any registry name (default Union-Rem-CAS;FindNaive;SplitAtomicOne)
+// variant:  any registry name (default: DefaultVariant(), the paper's
+//           recommended Union-Rem-CAS;FindNaive;SplitAtomicOne)
 // sampling: none | kout | bfs | ldd   (default kout)
 // --repr=compressed (alias --compressed): byte-code the graph and run
 //               connectivity directly on the compressed representation.
@@ -43,7 +47,7 @@
 
 #include "src/algo/verify.h"
 #include "src/core/components.h"
-#include "src/core/registry.h"
+#include "src/core/connectivity_index.h"
 #include "src/graph/builder.h"
 #include "src/graph/compressed.h"
 #include "src/graph/generators.h"
@@ -80,19 +84,19 @@ double Seconds(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
-// --stream mode: static pass over all but the held-out tail, seed the
-// variant's streaming structure with its labeling, stream the tail in
-// batches, and verify against a full static run.
+// --stream mode: static pass over all but the held-out tail (Build), seed
+// the variant's streaming structure with its labeling (Stream), stream the
+// tail in batches (Insert), and verify against a full static run.
 int RunStreamMode(GraphRepresentation repr, size_t num_shards,
-                  const EdgeList& all, const Variant& variant,
+                  const EdgeList& all, const Connectivity::Spec& spec,
                   const std::string& sampling_name, size_t num_batches,
                   size_t batch_size) {
-  if (!variant.supports_streaming) {
+  Connectivity index(spec);
+  if (!index.variant().supports_streaming) {
     std::fprintf(stderr, "error: %s does not support streaming (try --list)\n",
-                 variant.name.c_str());
+                 index.variant().name.c_str());
     return 1;
   }
-  const SamplingConfig sampling = ParseSampling(sampling_name);
   const size_t held = std::min(num_batches * batch_size, all.size());
   EdgeList base;
   base.num_nodes = all.num_nodes;
@@ -131,15 +135,16 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
               "representation=%s\n",
               all.num_nodes, all.size(), base.size(), held,
               base_handle.representation_name());
-  std::printf("algorithm: %s (+%s), handoff %zux%zu\n", variant.name.c_str(),
-              sampling_name.c_str(), num_batches, batch_size);
+  std::printf("algorithm: %s (+%s), handoff %zux%zu\n",
+              index.variant().name.c_str(), sampling_name.c_str(),
+              num_batches, batch_size);
 
   const uint64_t builds_before = (repr == GraphRepresentation::kSharded)
                                      ? ShardedCsrMaterializations()
                                      : CooCsrMaterializations();
   auto t0 = std::chrono::steady_clock::now();
-  auto streaming =
-      variant.make_streaming(StreamingSeed::FromStatic(base_handle, sampling));
+  index.Build(base_handle);  // static pass...
+  index.Stream();            // ...whose labeling seeds the streaming form
   const double static_seconds = Seconds(t0);
   std::printf("static pass: %.4f s (%.2e edges/s)\n", static_seconds,
               static_cast<double>(base.size()) / static_seconds);
@@ -154,7 +159,7 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
     const std::vector<Edge> batch(all.edges.begin() + start,
                                   all.edges.begin() + end);
     t0 = std::chrono::steady_clock::now();
-    streaming->ProcessBatch(batch, {});
+    index.Insert(batch);
     stream_seconds += Seconds(t0);
     ++batches_run;
   }
@@ -175,10 +180,10 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
 
   // The handoff invariant: seeded streaming over the tail must land on the
   // same partition as the static pass over the whole edge set.
-  const std::vector<NodeId> streamed =
-      CanonicalizeLabels(streaming->Labels());
+  const std::vector<NodeId> streamed = CanonicalizeLabels(index.Labels());
+  Connectivity full_index(spec);
   const std::vector<NodeId> full =
-      CanonicalizeLabels(variant.run(full_handle, sampling));
+      CanonicalizeLabels(full_index.Build(full_handle).Labels());
   const bool identical = (streamed == full);
   std::printf("labeling identical to full static run: %s\n",
               identical ? "yes" : "NO");
@@ -285,17 +290,16 @@ int main(int argc, char** argv) {
   }
 
   const std::string variant_name =
-      (argc > arg) ? argv[arg] : "Union-Rem-CAS;FindNaive;SplitAtomicOne";
+      (argc > arg) ? argv[arg] : DefaultVariant().name;
   const std::string sampling_name = (argc > arg + 1) ? argv[arg + 1] : "kout";
-  const Variant* variant = FindVariant(variant_name);
-  if (variant == nullptr) {
-    std::fprintf(stderr, "error: unknown variant %s (try --list)\n",
-                 variant_name.c_str());
-    return 1;
-  }
+  // Spec::Algorithm parses the name into a typed descriptor; an unknown
+  // name aborts with the closest registered name (try --list).
+  const Connectivity::Spec spec = Connectivity::Spec()
+                                      .Algorithm(variant_name)
+                                      .Sampling(ParseSampling(sampling_name));
 
   if (stream_batches > 0) {
-    return RunStreamMode(repr, num_shards, edges, *variant, sampling_name,
+    return RunStreamMode(repr, num_shards, edges, spec, sampling_name,
                          stream_batches, stream_batch_size);
   }
 
@@ -327,14 +331,15 @@ int main(int argc, char** argv) {
   const uint64_t builds_before = (repr == GraphRepresentation::kSharded)
                                      ? ShardedCsrMaterializations()
                                      : CooCsrMaterializations();
+  Connectivity index(spec);
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<NodeId> labels =
-      variant->run(handle, ParseSampling(sampling_name));
+  index.Build(handle);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const std::vector<NodeId> labels = index.Labels();
 
-  const NodeId num_components = CountComponents(labels);
+  const NodeId num_components = index.NumComponents();
   std::printf("algorithm: %s (+%s)\n", variant_name.c_str(),
               sampling_name.c_str());
   std::printf("time: %.4f s (%.2e edges/s)\n", seconds,

@@ -17,7 +17,7 @@
 #include <string>
 
 #include "src/algo/verify.h"
-#include "src/core/registry.h"
+#include "src/core/connectivity_index.h"
 #include "src/graph/builder.h"
 #include "src/graph/compressed.h"
 #include "src/graph/generators.h"
@@ -134,27 +134,24 @@ int main(int argc, char** argv) {
                 coded.compressed()->byte_size(),
                 static_cast<double>(raw) /
                     static_cast<double>(coded.compressed()->byte_size()));
-    // Sanity: the registry must produce the same partition on every
-    // representation of this graph (CSR view, byte-coded, COO edge list).
-    const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-    if (v == nullptr) {
-      std::fprintf(stderr, "error: default variant missing from registry\n");
-      return 1;
+    // Sanity: the serving façade must produce the same partition on every
+    // representation of this graph (CSR view, byte-coded, COO edge list,
+    // sharded CSR) — the default Spec's variant, converted per
+    // Representation.
+    Connectivity csr_index;
+    const std::vector<NodeId> csr_labels = csr_index.Build(graph).Labels();
+    bool all_ok = true;
+    for (const GraphRepresentation repr :
+         {GraphRepresentation::kCompressed, GraphRepresentation::kCoo,
+          GraphRepresentation::kSharded}) {
+      Connectivity index(Connectivity::Spec().Representation(repr));
+      const bool parity =
+          SamePartition(csr_labels, index.Build(graph).Labels());
+      std::printf("csr/%s connectivity parity: %s\n", ToString(repr),
+                  parity ? "ok" : "MISMATCH");
+      all_ok = all_ok && parity;
     }
-    const std::vector<NodeId> csr_labels = v->run(GraphHandle(graph), {});
-    const bool compressed_parity =
-        SamePartition(csr_labels, v->run(coded, {}));
-    std::printf("csr/compressed connectivity parity: %s\n",
-                compressed_parity ? "ok" : "MISMATCH");
-    const GraphHandle coo = GraphHandle::Adopt(ExtractEdges(graph));
-    const bool coo_parity = SamePartition(csr_labels, v->run(coo, {}));
-    std::printf("csr/coo connectivity parity: %s\n",
-                coo_parity ? "ok" : "MISMATCH");
-    const GraphHandle sharded = GraphHandle::Shard(graph);
-    const bool sharded_parity = SamePartition(csr_labels, v->run(sharded, {}));
-    std::printf("csr/sharded connectivity parity: %s\n",
-                sharded_parity ? "ok" : "MISMATCH");
-    return (compressed_parity && coo_parity && sharded_parity) ? 0 : 1;
+    return all_ok ? 0 : 1;
   }
   return Usage();
 }

@@ -1,14 +1,13 @@
 // Quickstart: build a graph, compute connected components and a spanning
-// forest, answer connectivity queries.
+// forest through the connectit::Connectivity serving façade, answer
+// connectivity queries.
 //
-//   cmake --build build && ./build/examples/quickstart
+//   cmake --build build && ./build/quickstart
 
 #include <cstdio>
 
-#include "src/core/connectit.h"
-#include "src/core/registry.h"
+#include "src/core/connectivity_index.h"
 #include "src/graph/builder.h"
-#include "src/graph/graph_handle.h"
 
 int main() {
   using namespace connectit;
@@ -19,37 +18,41 @@ int main() {
   const Graph graph = BuildGraph(
       8, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {6, 7}});
 
-  // The paper's recommended default: Union-Rem-CAS with one atomic path
-  // split per step, composed with k-out sampling.
-  using Algorithm = UnionFindFinish<UniteOption::kRemCas, FindOption::kNaive,
-                                    SpliceOption::kSplitOne>;
-  const std::vector<NodeId> labels =
-      RunConnectivity<Algorithm>(graph, SamplingConfig::KOut());
+  // The default Spec is the paper's recommended all-around variant
+  // (Union-Rem-CAS with one atomic path split per step); compose it with
+  // k-out sampling and run the static pass.
+  Connectivity index(Connectivity::Spec().Sampling(SamplingConfig::KOut()));
+  index.Build(graph);
 
   std::printf("vertex : component\n");
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    std::printf("  %u    : %u\n", v, labels[v]);
+  for (NodeId v = 0; v < index.num_nodes(); ++v) {
+    std::printf("  %u    : %u\n", v, index.Component(v));
   }
 
-  // Connectivity queries are label comparisons.
+  // Connectivity queries are thread-safe reads.
   std::printf("\nconnected(0, 5) = %s\n",
-              labels[0] == labels[5] ? "true" : "false");
+              index.SameComponent(0, 5) ? "true" : "false");
   std::printf("connected(0, 7) = %s\n",
-              labels[0] == labels[7] ? "true" : "false");
+              index.SameComponent(0, 7) ? "true" : "false");
+  std::printf("components      = %u\n", index.NumComponents());
 
-  // Spanning forest via the same algorithm (root-based, so supported).
-  const SpanningForestResult forest = RunSpanningForest<Algorithm>(graph);
+  // Spanning forest via the same variant (root-based, so supported).
+  const SpanningForestResult forest = index.SpanningForest();
   std::printf("\nspanning forest (%zu edges):\n", forest.edges.size());
   for (const Edge& e : forest.edges) std::printf("  {%u, %u}\n", e.u, e.v);
 
-  // The same algorithm through the runtime registry, which is
-  // representation-generic: a GraphHandle runs any registered variant on
-  // plain CSR, the byte-compressed format, or COO input.
-  const Variant* variant =
-      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  const std::vector<NodeId> coded_labels =
-      variant->run(GraphHandle::Compress(graph), SamplingConfig::KOut());
+  // The façade is representation-generic: ask the Spec for the
+  // byte-compressed representation and the same variant runs on byte
+  // codes. Typed descriptors replace stringly-typed lookups; the string
+  // form still parses for CLI-style configs.
+  Connectivity coded(Connectivity::Spec()
+                         .Algorithm(VariantDescriptor::UnionFind(
+                             UniteOption::kRemCas, FindOption::kNaive,
+                             SpliceOption::kSplitOne))
+                         .Sampling(SamplingConfig::KOut())
+                         .Representation(GraphRepresentation::kCompressed));
+  coded.Build(graph);
   std::printf("\nsame labels on the byte-compressed representation: %s\n",
-              coded_labels == labels ? "true" : "false");
+              coded.Labels() == index.Labels() ? "true" : "false");
   return 0;
 }

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/registry.h"
+#include "src/core/connectivity_index.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 
@@ -20,13 +20,10 @@ int main() {
   std::printf("road network: n=%u, m=%llu\n", road.num_nodes(),
               static_cast<unsigned long long>(road.num_edges()));
 
-  const Variant* algorithm =
-      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (algorithm == nullptr) return 1;
-
-  auto time_run = [&](const char* name, const SamplingConfig& config) {
+  auto time_build = [&](const char* name, const SamplingConfig& config) {
+    Connectivity index(Connectivity::Spec().Sampling(config));
     const auto t0 = std::chrono::steady_clock::now();
-    algorithm->run(road, config);
+    index.Build(road);
     const double s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -34,9 +31,9 @@ int main() {
     return s;
   };
   std::printf("sampling strategies on a high-diameter graph:\n");
-  const double t_none = time_run("no sampling", SamplingConfig::None());
-  const double t_kout = time_run("k-out sampling", SamplingConfig::KOut());
-  const double t_bfs = time_run("BFS sampling", SamplingConfig::Bfs());
+  const double t_none = time_build("no sampling", SamplingConfig::None());
+  const double t_kout = time_build("k-out sampling", SamplingConfig::KOut());
+  const double t_bfs = time_build("BFS sampling", SamplingConfig::Bfs());
   std::printf(
       "  (paper guidance: on high-diameter graphs prefer k-out; BFS\n"
       "   sampling pays ~diameter rounds: here %.1fx vs %.1fx the\n"
@@ -44,10 +41,13 @@ int main() {
       t_kout / t_none, t_bfs / t_none);
 
   // Spanning forest = the road network's skeleton (e.g., for minimal
-  // road-closure analysis).
-  const SpanningForestResult forest = algorithm->run_forest(road, {});
+  // road-closure analysis). The default variant is root-based, so the
+  // façade serves Algorithm 2 too.
+  Connectivity index;
+  index.Build(road);
+  const SpanningForestResult forest = index.SpanningForest();
   std::printf("spanning forest edges: %zu (n - #components = %u)\n",
-              forest.edges.size(), road.num_nodes() - 1);
+              forest.edges.size(), road.num_nodes() - index.NumComponents());
 
   // Persist and reload the network.
   const std::string path = "/tmp/connectit_road.bin";

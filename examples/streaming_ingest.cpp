@@ -1,13 +1,15 @@
 // Streaming ingestion scenario (paper §1: insertion-heavy workloads like
 // Twitter's follow stream), in the bulk-load-then-stream shape real
 // deployments use: yesterday's graph is loaded with one fast static pass,
-// whose labeling seeds the streaming structure (StreamingSeed::FromStatic);
 // today's edges then arrive in batches with connectivity queries mixed in.
+// The whole lifecycle is one Connectivity object: Build (bulk) -> Stream
+// (seeded handoff) -> Insert (batches + queries), with thread-safe reads
+// live throughout.
 
 #include <chrono>
 #include <cstdio>
 
-#include "src/core/registry.h"
+#include "src/core/connectivity_index.h"
 #include "src/graph/generators.h"
 #include "src/parallel/random.h"
 
@@ -15,9 +17,6 @@ int main() {
   using namespace connectit;
 
   const NodeId n = 1u << 18;
-  const Variant* algorithm =
-      FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  if (algorithm == nullptr) return 1;
 
   // Simulated follow stream: RMAT edges. The first 75% is "yesterday's
   // graph" (bulk-loaded), the rest arrives in batches with 10% connectivity
@@ -28,12 +27,14 @@ int main() {
   base.num_nodes = n;
   base.edges.assign(stream.edges.begin(), stream.edges.begin() + bulk);
 
-  // Warm start: the variant's own static pass over the base graph (COO
-  // handle — edge-centric, so no CSR is ever built) seeds the streaming
-  // structure with its labeling.
+  // Spec::Auto on a COO handle keeps everything edge-native: the default
+  // (streamable) variant, no sampling, no representation change — the
+  // static pass never builds a CSR.
+  const GraphHandle base_handle(base);
+  Connectivity index(Connectivity::Spec::Auto(base_handle, /*streaming=*/true));
   auto t0 = std::chrono::steady_clock::now();
-  auto stream_cc = algorithm->make_streaming(
-      StreamingSeed::FromStatic(GraphHandle(base)));
+  index.Build(base_handle);  // static pass over yesterday's graph
+  index.Stream();            // adopt its labeling for incremental batches
   const double bulk_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -57,8 +58,7 @@ int main() {
                     static_cast<NodeId>(rng.GetBounded(start + 2 * q + 1, n))};
     }
     t0 = std::chrono::steady_clock::now();
-    const std::vector<uint8_t> answers =
-        stream_cc->ProcessBatch(updates, queries);
+    const std::vector<uint8_t> answers = index.Insert(updates, queries);
     total_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -69,21 +69,17 @@ int main() {
               static_cast<double>(stream.size() - bulk) / total_seconds);
   std::printf("queries answered  : %zu (%.1f%% connected)\n", total_queries,
               100.0 * connected_answers / total_queries);
-
-  const auto labels = stream_cc->Labels();
-  size_t roots = 0;
-  for (NodeId v = 0; v < n; ++v) roots += (labels[v] == v);
-  std::printf("components so far : %zu\n", roots);
+  std::printf("components so far : %u\n", index.NumComponents());
 
   // For reference: the cold alternative streams the bulk edges through
-  // batches instead of the static pass.
-  auto cold = algorithm->make_streaming(StreamingSeed::Cold(n));
+  // batches instead of the static pass (Stream(n) = no seed).
+  Connectivity cold;
+  cold.Stream(n);
   t0 = std::chrono::steady_clock::now();
   for (size_t start = 0; start < bulk; start += batch_size) {
     const size_t end = std::min(start + batch_size, bulk);
-    cold->ProcessBatch(std::vector<Edge>(stream.edges.begin() + start,
-                                         stream.edges.begin() + end),
-                       {});
+    cold.Insert(std::vector<Edge>(stream.edges.begin() + start,
+                                  stream.edges.begin() + end));
   }
   const double cold_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -1,0 +1,274 @@
+#include "src/core/connectivity_index.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "src/core/components.h"
+#include "src/graph/builder.h"
+
+namespace connectit {
+
+namespace {
+
+[[noreturn]] void DieF(const char* message) {
+  std::fprintf(stderr, "fatal: %s\n", message);
+  std::abort();
+}
+
+// Builds an owning handle of `target` representation from a flat CSR
+// reference. Only the kCsr target needs to copy `flat`; the other
+// converters build independent owning structures from the reference.
+GraphHandle FromFlat(const Graph& flat, GraphRepresentation target,
+                     size_t shards) {
+  switch (target) {
+    case GraphRepresentation::kCsr:
+      return GraphHandle::Adopt(Graph(flat));
+    case GraphRepresentation::kCompressed:
+      return GraphHandle::Compress(flat);
+    case GraphRepresentation::kCoo:
+      return GraphHandle::Adopt(ExtractEdges(flat));
+    case GraphRepresentation::kSharded:
+      return GraphHandle::Shard(flat, shards);
+  }
+  return GraphHandle();
+}
+
+// The Spec-requested representation of `in`, reusing the input when it
+// already matches (and, for sharded targets, the shard count agrees or was
+// left defaulted). Conversions produce owning handles and work from a
+// flat-CSR *reference* (the input's own CSR, or the cached materialization
+// for COO/sharded sources) — no intermediate whole-graph copy; only a
+// compressed source decodes into a temporary.
+GraphHandle ConvertTo(const GraphHandle& in, GraphRepresentation target,
+                      size_t shards) {
+  if (in.representation() == target &&
+      (target != GraphRepresentation::kSharded || shards == 0 ||
+       in.sharded()->num_shards() == shards)) {
+    return in;
+  }
+  if (in.representation() == GraphRepresentation::kCompressed) {
+    // The only representation without a flat form on hand: decompress
+    // (parallel, exact CSR reconstruction), then convert.
+    Graph decoded = in.compressed()->Decode();
+    if (target == GraphRepresentation::kCsr) {
+      return GraphHandle::Adopt(std::move(decoded));
+    }
+    return FromFlat(decoded, target, shards);
+  }
+  const Graph& flat = in.representation() == GraphRepresentation::kCsr
+                          ? *in.csr()
+                          : in.MaterializedCsr();
+  return FromFlat(flat, target, shards);
+}
+
+}  // namespace
+
+Connectivity::Spec Connectivity::Spec::Auto(const GraphHandle& graph,
+                                            bool streaming) {
+  Spec spec;  // DefaultVariant: fastest all-around, root-based, streamable.
+  const NodeId n = graph.num_nodes();
+  const double avg_degree =
+      n == 0 ? 0.0 : static_cast<double>(graph.num_arcs()) / n;
+  if (graph.representation() == GraphRepresentation::kCoo) {
+    // Unsampled keeps the whole lifecycle COO-native (edge-centric default
+    // variant, so neither Build nor a streaming seed ever builds a CSR).
+    return spec;
+  }
+  if (avg_degree >= 4.0) {
+    spec.Sampling(SamplingConfig::KOut());
+  }
+  if (!streaming && graph.representation() == GraphRepresentation::kCsr &&
+      avg_degree >= 8.0 && n >= (NodeId{1} << 18)) {
+    // Big dense analytical pass: shard-major locality wins (see
+    // ARCHITECTURE.md "Choosing a representation"). Not worth the
+    // partition cost for a one-shot streaming seed.
+    spec.Representation(GraphRepresentation::kSharded);
+  }
+  return spec;
+}
+
+Connectivity::Spec& Connectivity::Spec::Algorithm(
+    const VariantDescriptor& descriptor) {
+  algorithm_ = descriptor;
+  return *this;
+}
+
+Connectivity::Spec& Connectivity::Spec::Algorithm(std::string_view name) {
+  algorithm_ = GetVariantOrDie(name).descriptor;
+  return *this;
+}
+
+Connectivity::Connectivity(Spec spec)
+    : spec_(std::move(spec)), variant_(FindVariant(spec_.algorithm())) {
+  if (variant_ == nullptr) {
+    std::fprintf(stderr,
+                 "fatal: Connectivity spec names an unregistered variant "
+                 "combination (\"%s\")\n",
+                 spec_.algorithm().ToString().c_str());
+    std::abort();
+  }
+}
+
+Connectivity::Connectivity(Connectivity&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  spec_ = std::move(other.spec_);
+  variant_ = other.variant_;  // registry storage is static; stays valid
+  graph_ = std::move(other.graph_);
+  labels_ = std::move(other.labels_);
+  labels_stale_ = other.labels_stale_;
+  built_ = other.built_;
+  streaming_ = std::move(other.streaming_);
+  other.built_ = false;
+  other.labels_stale_ = false;
+  other.labels_.clear();
+  other.graph_ = GraphHandle();
+}
+
+Connectivity& Connectivity::operator=(Connectivity&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    spec_ = std::move(other.spec_);
+    variant_ = other.variant_;
+    graph_ = std::move(other.graph_);
+    labels_ = std::move(other.labels_);
+    labels_stale_ = other.labels_stale_;
+    built_ = other.built_;
+    streaming_ = std::move(other.streaming_);
+    other.built_ = false;
+    other.labels_stale_ = false;
+    other.labels_.clear();
+    other.graph_ = GraphHandle();
+  }
+  return *this;
+}
+
+Connectivity& Connectivity::Build(const GraphHandle& graph) {
+  GraphHandle prepared =
+      spec_.representation().has_value()
+          ? ConvertTo(graph, *spec_.representation(), spec_.shards())
+          : graph;
+  // The pass runs outside the lock so readers keep serving the previous
+  // labeling until the swap below.
+  std::vector<NodeId> labels = variant_->run(prepared, spec_.sampling());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  graph_ = std::move(prepared);
+  labels_ = std::move(labels);
+  labels_stale_ = false;
+  built_ = true;
+  streaming_.reset();
+  return *this;
+}
+
+Connectivity& Connectivity::Stream() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  CheckBuilt("Stream");
+  if (!variant_->supports_streaming) {
+    DieF("Connectivity::Stream: the configured variant has no streaming "
+         "form (check variant().supports_streaming)");
+  }
+  // A re-Stream after Inserts must seed from the post-batch labeling, not
+  // a stale snapshot.
+  if (labels_stale_) {
+    labels_ = streaming_->Labels();
+    labels_stale_ = false;
+  }
+  // Adopt the static pass's labeling through the registry's seed seam —
+  // the FromStatic handoff without re-running the finish. labels_ moves
+  // into the seed (no n-sized copies on the handoff path); the served
+  // snapshot refreshes to the adopted (normalized) form on the next read.
+  streaming_ =
+      variant_->make_streaming(StreamingSeed::FromLabels(std::move(labels_)));
+  labels_.clear();
+  labels_stale_ = true;
+  return *this;
+}
+
+Connectivity& Connectivity::Stream(NodeId num_nodes) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!variant_->supports_streaming) {
+    DieF("Connectivity::Stream: the configured variant has no streaming "
+         "form (check variant().supports_streaming)");
+  }
+  streaming_ = variant_->make_streaming(StreamingSeed::Cold(num_nodes));
+  labels_stale_ = true;
+  graph_ = GraphHandle();
+  built_ = false;  // no static graph behind this state
+  return *this;
+}
+
+bool Connectivity::streaming() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return streaming_ != nullptr;
+}
+
+std::vector<uint8_t> Connectivity::Insert(const std::vector<Edge>& updates,
+                                          const std::vector<Edge>& queries) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (streaming_ == nullptr) {
+    DieF("Connectivity::Insert requires Stream() first");
+  }
+  std::vector<uint8_t> results = streaming_->ProcessBatch(updates, queries);
+  // Don't pay the Theta(n) snapshot per batch: the first read after this
+  // batch refreshes the served labeling (ReadLabels).
+  labels_stale_ = true;
+  return results;
+}
+
+SpanningForestResult Connectivity::SpanningForest() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  CheckBuilt("SpanningForest");
+  if (!variant_->root_based) {
+    DieF("Connectivity::SpanningForest: the configured variant is not "
+         "root-based (check variant().root_based)");
+  }
+  return variant_->run_forest(graph_, spec_.sampling());
+}
+
+NodeId Connectivity::Component(NodeId v) const {
+  return ReadLabels(
+      [v](const std::vector<NodeId>& labels) { return labels.at(v); });
+}
+
+bool Connectivity::SameComponent(NodeId u, NodeId v) const {
+  return ReadLabels([u, v](const std::vector<NodeId>& labels) {
+    return labels.at(u) == labels.at(v);
+  });
+}
+
+NodeId Connectivity::NumComponents() const {
+  return ReadLabels(
+      [](const std::vector<NodeId>& labels) { return CountComponents(labels); });
+}
+
+std::vector<NodeId> Connectivity::ComponentSizes() const {
+  return ReadLabels([](const std::vector<NodeId>& labels) {
+    return connectit::ComponentSizes(labels);
+  });
+}
+
+std::vector<NodeId> Connectivity::Labels() const {
+  return ReadLabels([](const std::vector<NodeId>& labels) { return labels; });
+}
+
+NodeId Connectivity::num_nodes() const {
+  return ReadLabels([](const std::vector<NodeId>& labels) {
+    return static_cast<NodeId>(labels.size());
+  });
+}
+
+GraphRepresentation Connectivity::representation() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return graph_.representation();
+}
+
+void Connectivity::CheckBuilt(const char* op) const {
+  if (!built_) {
+    std::fprintf(stderr, "fatal: Connectivity::%s requires Build() first\n",
+                 op);
+    std::abort();
+  }
+}
+
+}  // namespace connectit

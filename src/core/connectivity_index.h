@@ -1,0 +1,225 @@
+// connectit::Connectivity — the serving façade over the variant space.
+//
+// This is the front door for downstream consumers (examples, the CLI,
+// services embedding the library): one object that owns the full
+// connectivity lifecycle, so callers never hand-assemble
+// GraphHandle/SamplingConfig/StreamingSeed plumbing or look variants up by
+// string. The registry (registry.h) stays the internal dispatch seam the
+// façade sits on — benches and tests still sweep it directly.
+//
+//   Connectivity index(Connectivity::Spec()
+//                          .Algorithm(VariantDescriptor::UnionFind(
+//                              UniteOption::kRemCas, FindOption::kNaive,
+//                              SpliceOption::kSplitOne))
+//                          .Sampling(SamplingConfig::KOut()));
+//   index.Build(graph);                  // bulk analytical pass (Alg. 1)
+//   index.SameComponent(u, v);           // serve reads...
+//   index.Stream();                      // ...hand off to incremental mode
+//   index.Insert(todays_edges, queries); // batches + inline queries (§3.5)
+//   index.NumComponents();               // reads stay live throughout
+//
+// Lifecycle: Build runs the configured variant's static pass on the graph
+// (converted to the Spec's representation if one was requested); Stream
+// seeds the variant's own streaming structure from the built labeling
+// through the registry's StreamingSeed seam (the same validation and
+// min-rooted normalization as StreamingSeed::FromStatic, without re-running
+// the pass); Insert applies §3.5 batches. The read methods (Component,
+// SameComponent, NumComponents, ComponentSizes, Labels) are thread-safe
+// against each other AND against concurrent Build/Stream/Insert calls:
+// readers share a lock, mutators take it exclusively, and each read serves
+// a consistent snapshot — the labeling as of some completed batch prefix.
+// Build's pass runs outside the lock (reads keep serving the old labeling
+// until the swap); Insert holds the lock for the batch, so reads
+// interleave *between* batches rather than racing one. The post-batch
+// label snapshot is refreshed lazily on the first read after an Insert,
+// so a pure ingest loop never pays the Theta(n) snapshot per batch.
+//
+// Spec is a builder: algorithm (typed descriptor or registry-name string),
+// sampling scheme, target representation, shard count. Spec::Auto(graph,
+// streaming) inspects graph traits (density, input representation, whether
+// streaming is requested) and picks a variant + representation per the
+// paper's guidance.
+
+#ifndef CONNECTIT_CORE_CONNECTIVITY_INDEX_H_
+#define CONNECTIT_CORE_CONNECTIVITY_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string_view>
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/core/variant_descriptor.h"
+#include "src/graph/graph_handle.h"
+
+namespace connectit {
+
+class Connectivity {
+ public:
+  class Spec {
+   public:
+    // Default: the paper's recommended all-around variant (DefaultVariant),
+    // no sampling, keep the input graph's representation.
+    Spec() : algorithm_(DefaultVariant().descriptor) {}
+
+    // Picks algorithm, sampling, and representation from the graph's
+    // traits, following the paper's guidance:
+    //  - the algorithm is always DefaultVariant (Union-Rem-CAS;FindNaive;
+    //    SplitAtomicOne — fastest all-around, root-based, streamable);
+    //  - COO inputs stay unsampled so the whole lifecycle runs natively on
+    //    the edge list (sampling would force a CSR materialization);
+    //  - otherwise dense graphs (avg degree >= 4) get k-out sampling —
+    //    sampling only pays when most edges can be skipped after the giant
+    //    component is rooted (§4.2);
+    //  - large dense CSR inputs are resharded for shard-major locality
+    //    unless streaming is requested (a one-shot seed pass would not
+    //    amortize the partition cost).
+    static Spec Auto(const GraphHandle& graph, bool streaming = false);
+
+    // The finish variant, as a typed descriptor or a registry-name string.
+    // The string form is the parse layer for CLIs/configs and dies with a
+    // nearest-match suggestion on an unknown name (GetVariantOrDie).
+    Spec& Algorithm(const VariantDescriptor& descriptor);
+    Spec& Algorithm(std::string_view name);
+
+    Spec& Sampling(const SamplingConfig& sampling) {
+      sampling_ = sampling;
+      return *this;
+    }
+
+    // Convert Build's input to this representation first. A conversion
+    // produces an owning handle; an input that already matches is used
+    // as-is (so a matching *view* follows Build's view-lifetime rule).
+    // Unset: run on whatever representation the caller hands in.
+    Spec& Representation(GraphRepresentation representation) {
+      representation_ = representation;
+      return *this;
+    }
+
+    // Shard count for Representation(kSharded); 0 = worker-count default.
+    Spec& Shards(size_t num_shards) {
+      shards_ = num_shards;
+      return *this;
+    }
+
+    const VariantDescriptor& algorithm() const { return algorithm_; }
+    const SamplingConfig& sampling() const { return sampling_; }
+    std::optional<GraphRepresentation> representation() const {
+      return representation_;
+    }
+    size_t shards() const { return shards_; }
+
+   private:
+    VariantDescriptor algorithm_;
+    SamplingConfig sampling_;
+    std::optional<GraphRepresentation> representation_;
+    size_t shards_ = 0;
+  };
+
+  // Resolves the Spec's descriptor against the registry; dies if the
+  // descriptor denotes an unregistered combination (impossible for
+  // descriptors produced by Parse or Spec::Auto).
+  Connectivity() : Connectivity(Spec()) {}
+  explicit Connectivity(Spec spec);
+
+  // Movable for setup-time ergonomics (pick-the-winner loops); the
+  // moved-from index reverts to the un-built state of its spec. Not
+  // copyable — an index owns its streaming structure and lock.
+  Connectivity(Connectivity&& other) noexcept;
+  Connectivity& operator=(Connectivity&& other) noexcept;
+  Connectivity(const Connectivity&) = delete;
+  Connectivity& operator=(const Connectivity&) = delete;
+
+  const Spec& spec() const { return spec_; }
+  // The resolved registry variant — the escape hatch for capabilities the
+  // façade does not wrap (heatmap axis labels, family predicates, ...).
+  const Variant& variant() const { return *variant_; }
+
+  // Runs the variant's static pass (paper Algorithm 1) over `graph` under
+  // the Spec's sampling scheme, replacing any previous state. If the Spec
+  // requests a different representation the graph is converted (owning);
+  // otherwise the handle is used as-is, and a *view* handle's target must
+  // outlive the next Build/SpanningForest call. Returns *this for
+  // chaining.
+  Connectivity& Build(const GraphHandle& graph);
+
+  // Hands off to batch-incremental mode (paper §3.5): seeds the variant's
+  // streaming structure from the built labeling via the registry's
+  // StreamingSeed seam. Requires a prior Build and a streaming-capable
+  // variant (dies otherwise — query variant().supports_streaming first if
+  // unsure).
+  Connectivity& Stream();
+
+  // Cold-starts streaming over `num_nodes` isolated vertices, no static
+  // pass (StreamingSeed::Cold). The from-scratch ingest shape.
+  Connectivity& Stream(NodeId num_nodes);
+
+  // True once Stream() has run; Insert is only legal then.
+  bool streaming() const;
+
+  // Applies one batch of edge insertions and answers the batched
+  // connectivity queries (one byte per query: 1 = connected after this
+  // batch). Batches serialize against each other and against reads.
+  std::vector<uint8_t> Insert(const std::vector<Edge>& updates,
+                              const std::vector<Edge>& queries = {});
+
+  // Spanning forest of the built graph via the variant's run_forest (paper
+  // Algorithm 2). Requires Build and a root-based variant (dies
+  // otherwise).
+  SpanningForestResult SpanningForest() const;
+
+  // ---- thread-safe reads against the current labeling ----
+
+  // The component representative of v (vertices in the same component
+  // report the same representative).
+  NodeId Component(NodeId v) const;
+  bool SameComponent(NodeId u, NodeId v) const;
+  NodeId NumComponents() const;
+  // Size of each component, indexed by representative (0 elsewhere).
+  std::vector<NodeId> ComponentSizes() const;
+  // Snapshot of the full labeling.
+  std::vector<NodeId> Labels() const;
+
+  NodeId num_nodes() const;
+  // Representation the index was built on (kCsr before any Build).
+  GraphRepresentation representation() const;
+
+ private:
+  void CheckBuilt(const char* op) const;
+
+  // Runs fn(labels) under a shared lock, first refreshing the snapshot
+  // from the streaming structure (under the exclusive lock) if an Insert
+  // left it stale. Keeps reads wait-free of the Theta(n) snapshot cost on
+  // the ingest path: batches just flip the stale bit, and the first read
+  // afterwards pays for the refresh once.
+  template <typename F>
+  decltype(auto) ReadLabels(F&& fn) const {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      if (!labels_stale_) return fn(labels_);
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (labels_stale_) {
+      labels_ = streaming_->Labels();
+      labels_stale_ = false;
+    }
+    return fn(labels_);
+  }
+
+  Spec spec_;
+  const Variant* variant_;
+
+  mutable std::shared_mutex mu_;
+  GraphHandle graph_;  // the built graph, Spec representation
+  // Served labeling (empty before Build/Stream). Stale after an Insert
+  // until the next read refreshes it from streaming_.
+  mutable std::vector<NodeId> labels_;
+  mutable bool labels_stale_ = false;
+  bool built_ = false;
+  std::unique_ptr<StreamingConnectivity> streaming_;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_CORE_CONNECTIVITY_INDEX_H_

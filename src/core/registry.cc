@@ -1,5 +1,8 @@
 #include "src/core/registry.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <type_traits>
 #include <utility>
@@ -86,9 +89,14 @@ SpanningForestResult RunForestOnHandle(const GraphHandle& handle,
 // warm seeds run this variant's own static finish through the same
 // per-representation dispatch as Variant::run (COO-native / compressed /
 // CSR, sampled or not) and hand the labeling to the streaming constructor.
+// FromLabels seeds skip the run and adopt the caller's labeling directly
+// (same AdoptSeedLabels normalization inside the constructor).
 template <typename Finish, typename StreamingT>
 std::unique_ptr<StreamingConnectivity> MakeSeededStreaming(
-    const StreamingSeed& seed) {
+    StreamingSeed seed) {
+  if (seed.from_labels) {
+    return std::make_unique<StreamingT>(std::move(seed.labels));
+  }
   if (!seed.warm) return std::make_unique<StreamingT>(seed.n);
   return std::make_unique<StreamingT>(
       RunOnHandle<Finish>(seed.graph, seed.sampling));
@@ -99,17 +107,14 @@ std::unique_ptr<StreamingConnectivity> MakeSeededStreaming(
 template <UniteOption kU, FindOption kF, SpliceOption kS>
 Variant MakeUfVariant() {
   Variant v;
+  v.descriptor = VariantDescriptor::UnionFind(kU, kF, kS);
+  v.name = v.descriptor.ToString();
   v.group = std::string(ToString(kU));
   if constexpr (kS != SpliceOption::kNone) {
     v.group += ';';
     v.group += ToString(kS);
   }
   v.find_name = std::string(ToString(kF));
-  v.name = std::string(ToString(kU)) + ";" + std::string(ToString(kF));
-  if constexpr (kS != SpliceOption::kNone) {
-    v.name += ";";
-    v.name += ToString(kS);
-  }
   v.family = AlgorithmFamily::kUnionFind;
   v.root_based = true;
   v.supports_streaming = true;
@@ -123,9 +128,9 @@ Variant MakeUfVariant() {
 template <LtConnect kC, LtUpdate kU, LtShortcut kS, LtAlter kA>
 Variant MakeLtVariant() {
   Variant v;
-  const std::string code = LtVariantCode(kC, kU, kS, kA);
-  v.name = "Liu-Tarjan;" + code;
-  v.group = code;
+  v.descriptor = VariantDescriptor::LiuTarjan(kC, kU, kS, kA);
+  v.name = v.descriptor.ToString();
+  v.group = LtVariantCode(kC, kU, kS, kA);
   v.family = AlgorithmFamily::kLiuTarjan;
   v.root_based = (kU == LtUpdate::kRootUp);
   using Finish = LiuTarjanFinish<kC, kU, kS, kA>;
@@ -189,7 +194,8 @@ std::vector<Variant> BuildRegistry() {
   // Shiloach-Vishkin.
   {
     Variant v;
-    v.name = "Shiloach-Vishkin";
+    v.descriptor = VariantDescriptor::ShiloachVishkin();
+    v.name = v.descriptor.ToString();
     v.group = "Shiloach-Vishkin";
     v.family = AlgorithmFamily::kShiloachVishkin;
     v.root_based = true;
@@ -226,7 +232,8 @@ std::vector<Variant> BuildRegistry() {
   // Stergiou.
   {
     Variant v;
-    v.name = "Stergiou";
+    v.descriptor = VariantDescriptor::Stergiou();
+    v.name = v.descriptor.ToString();
     v.group = "Stergiou";
     v.family = AlgorithmFamily::kStergiou;
     v.run = RunOnHandle<StergiouFinish>;
@@ -236,7 +243,8 @@ std::vector<Variant> BuildRegistry() {
   // Label-Propagation.
   {
     Variant v;
-    v.name = "Label-Propagation";
+    v.descriptor = VariantDescriptor::LabelPropagation();
+    v.name = v.descriptor.ToString();
     v.group = "Label-Propagation";
     v.family = AlgorithmFamily::kLabelPropagation;
     v.run = RunOnHandle<LabelPropFinish>;
@@ -259,6 +267,61 @@ const Variant* FindVariant(std::string_view name) {
     if (v.name == name) return &v;
   }
   return nullptr;
+}
+
+const Variant* FindVariant(const VariantDescriptor& descriptor) {
+  for (const Variant& v : AllVariants()) {
+    if (v.descriptor == descriptor) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Plain O(a*b) Levenshtein distance, used only on the fatal-lookup path to
+// suggest the closest registered name.
+size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t next = std::min(
+          {row[j] + 1, row[j - 1] + 1, diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+const Variant& GetVariantOrDie(std::string_view name) {
+  if (const Variant* v = FindVariant(name)) return *v;
+  const Variant* nearest = nullptr;
+  size_t best = static_cast<size_t>(-1);
+  for (const Variant& v : AllVariants()) {
+    const size_t d = EditDistance(name, v.name);
+    if (d < best) {
+      best = d;
+      nearest = &v;
+    }
+  }
+  std::fprintf(stderr,
+               "fatal: unknown variant \"%.*s\"; did you mean \"%s\"? "
+               "(%zu variants registered; connectit_cli --list prints them)\n",
+               static_cast<int>(name.size()), name.data(),
+               nearest != nullptr ? nearest->name.c_str() : "?",
+               AllVariants().size());
+  std::abort();
+}
+
+const Variant& DefaultVariant() {
+  static const Variant* variant = FindVariant(VariantDescriptor::UnionFind(
+      UniteOption::kRemCas, FindOption::kNaive, SpliceOption::kSplitOne));
+  return *variant;
 }
 
 std::vector<const Variant*> VariantsOfFamily(AlgorithmFamily family) {

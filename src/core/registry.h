@@ -5,13 +5,20 @@
 // callable entry so that tests can sweep the full space and benches can
 // reproduce the paper's per-variant tables and heatmaps.
 //
-// Naming scheme:
+// Variant identity is typed: every Variant carries a VariantDescriptor
+// (variant_descriptor.h — enums per axis) and its name is the descriptor's
+// ToString. The string naming scheme is the human/CLI parse layer:
 //   "Union-Rem-CAS;FindNaive;SplitAtomicOne"   (union-find: unite;find[;splice])
 //   "Union-JTB;FindTwoTrySplit"
 //   "Shiloach-Vishkin"
 //   "Liu-Tarjan;PRF"                           (Appendix D variant codes)
 //   "Stergiou"  "Label-Propagation"
 // Sampling is orthogonal: pass any SamplingConfig to run/run_forest.
+//
+// This registry is the *internal* dispatch seam. Downstream consumers
+// (examples, services) go through the connectit::Connectivity façade in
+// connectivity_index.h; benches and tests reach in directly to sweep the
+// variant space. See ARCHITECTURE.md "Serving layer".
 //
 // The graph representation is orthogonal too: run/run_forest take a
 // type-erased GraphHandle (graph_handle.h), so every variant executes
@@ -42,18 +49,11 @@
 #include "src/core/connectit.h"
 #include "src/core/options.h"
 #include "src/core/streaming.h"
+#include "src/core/variant_descriptor.h"
 #include "src/graph/graph_handle.h"
 #include "src/unionfind/options.h"
 
 namespace connectit {
-
-enum class AlgorithmFamily {
-  kUnionFind,
-  kShiloachVishkin,
-  kLiuTarjan,
-  kStergiou,
-  kLabelPropagation,
-};
 
 // How a streaming structure starts life (paper §3.5): cold over n isolated
 // vertices, or warm from the labeling a static pass produces. The warm form
@@ -63,6 +63,13 @@ enum class AlgorithmFamily {
 // sharded runs traverse the shards directly) and the streaming structure
 // adopts the resulting labeling, so a bulk load and its incremental
 // continuation use one algorithm and one parent array discipline.
+//
+// A third form, FromLabels, adopts an already-computed labeling without
+// re-running the finish — the seam the Connectivity façade
+// (connectivity_index.h) uses so Build + Stream costs one static pass, not
+// two. The adoption path (AdoptSeedLabels' validation and min-rooted
+// normalization) is identical to FromStatic's, so seeding from a pass's
+// labels and re-running the pass land on byte-identical streaming state.
 struct StreamingSeed {
   // Cold start: n isolated vertices. Implicit so that the pre-handoff call
   // shape make_streaming(n) stays the identity-seeded special case.
@@ -84,13 +91,31 @@ struct StreamingSeed {
     return seed;
   }
 
+  // Warm start from an existing labeling (any rooted forest over its index
+  // range; validated and normalized by AdoptSeedLabels exactly like the
+  // FromStatic path). Use when the static pass already ran and its labels
+  // are in hand — e.g. Connectivity::Stream() after Build.
+  static StreamingSeed FromLabels(std::vector<NodeId> labels) {
+    StreamingSeed seed(static_cast<NodeId>(labels.size()));
+    seed.labels = std::move(labels);
+    seed.from_labels = true;
+    return seed;
+  }
+
   NodeId n = 0;
   GraphHandle graph;  // empty unless warm
   SamplingConfig sampling;
   bool warm = false;
+  std::vector<NodeId> labels;  // empty unless from_labels
+  bool from_labels = false;
 };
 
 struct Variant {
+  // Typed identity: the enum-per-axis form of `name`. `name` is always
+  // descriptor.ToString(), so the string is a derived view, never the
+  // source of truth. Look variants up by descriptor for exact matching;
+  // parse user input through VariantDescriptor::Parse.
+  VariantDescriptor descriptor;
   std::string name;
   // Axis labels for the paper's heatmaps: e.g. group "Union-Rem-CAS;Splice",
   // find "FindNaive".
@@ -117,7 +142,9 @@ struct Variant {
   // Consumes COO batches by definition (representation-independent). The
   // seed selects a cold start (vertex count) or a warm start adopting this
   // variant's static-pass labeling on any GraphHandle (see StreamingSeed).
-  std::function<std::unique_ptr<StreamingConnectivity>(const StreamingSeed&)>
+  // Taken by value so a temporary seed's labels move, not copy, into the
+  // streaming structure.
+  std::function<std::unique_ptr<StreamingConnectivity>(StreamingSeed)>
       make_streaming;
 };
 
@@ -126,6 +153,23 @@ const std::vector<Variant>& AllVariants();
 
 // Looks up a variant by exact name; nullptr if absent.
 const Variant* FindVariant(std::string_view name);
+
+// Looks up a variant by its typed descriptor (exact axis comparison, no
+// string matching); nullptr if the combination is not registered.
+const Variant* FindVariant(const VariantDescriptor& descriptor);
+
+// As FindVariant(name), but a lookup failure is fatal: prints the bad name
+// plus the closest registered name (by edit distance) to stderr and
+// aborts. Use at the edges — CLI flags, bench tables, example defaults —
+// where a misspelled variant name should stop the run, not null-deref or
+// silently skip.
+const Variant& GetVariantOrDie(std::string_view name);
+
+// The paper's recommended all-around variant (Union-Rem-CAS with FindNaive
+// and one atomic path split per step — §4's pick for both static and
+// streaming workloads). The default the façade, CLI, and examples use when
+// no variant is named.
+const Variant& DefaultVariant();
 
 // Subsets used by benches and tests.
 std::vector<const Variant*> VariantsOfFamily(AlgorithmFamily family);

@@ -283,7 +283,7 @@ TEST(GraphHandle, FromEdgesStaysCoo) {
   EXPECT_EQ(handle.num_nodes(), 5u);
   EXPECT_EQ(handle.num_edges(), 3u);
   EXPECT_EQ(handle.num_arcs(), 6u);
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  const Variant* v = &DefaultVariant();
   const auto labels = CanonicalizeLabels(v->run(handle, {}));
   const std::vector<NodeId> want = {0, 0, 0, 3, 3};
   EXPECT_EQ(labels, want);
@@ -433,8 +433,7 @@ TEST(ShardedGraph, IsolatedVerticesAtShardBoundaries) {
   EXPECT_EQ(sharded.ShardOf(11), 3u);
   // Connectivity through a sharded handle treats the isolated vertices as
   // their own components, exactly like the flat CSR.
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  ASSERT_NE(v, nullptr);
+  const Variant* v = &DefaultVariant();
   EXPECT_EQ(CanonicalizeLabels(v->run(GraphHandle(sharded), {})),
             CanonicalizeLabels(v->run(GraphHandle(graph), {})));
 }
@@ -522,8 +521,7 @@ TEST(GraphHandle, ShardedViewDoesNotOwn) {
 // CONNECTIT_BENCH_REPR=sharded so the sharded bench path is exercised on
 // every push; unset, it checks the default CSR path.
 TEST(BenchReprContract, BenchHandleMatchesCsr) {
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  ASSERT_NE(v, nullptr);
+  const Variant* v = &DefaultVariant();
   for (const RepresentationSet& rep : Basket()) {
     const GraphHandle handle = bench::MakeBenchHandle(rep.graph);
     EXPECT_EQ(handle.representation(), bench::BenchRepr());

@@ -74,8 +74,7 @@ TEST(SpanningForest, EmptyAndTrivialGraphs) {
 }
 
 TEST(SpanningForest, ForestSizeMatchesComponentCount) {
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  ASSERT_NE(v, nullptr);
+  const Variant* v = &DefaultVariant();
   const Graph g = GenerateComponentMixture(1500, 6, 77);
   const ComponentStats stats =
       ComputeComponentStats(SequentialComponents(g));

@@ -185,8 +185,7 @@ TEST(SeededHandoffExtras, SeededQueriesReflectBaseGraph) {
 
 // Cold seeds are the identity-seeded special case.
 TEST(SeededHandoffExtras, ColdSeedStartsFromIdentity) {
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  ASSERT_NE(v, nullptr);
+  const Variant* v = &DefaultVariant();
   auto alg = v->make_streaming(StreamingSeed::Cold(8));
   const auto labels = alg->Labels();
   for (NodeId u = 0; u < 8; ++u) EXPECT_EQ(labels[u], u);

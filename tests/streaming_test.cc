@@ -132,8 +132,7 @@ INSTANTIATE_TEST_SUITE_P(AllStreaming, StreamingSweep,
                          ::testing::ValuesIn(StreamingNames()), CaseName);
 
 TEST(Streaming, EmptyBatchesAreNoOps) {
-  const Variant* v = FindVariant("Union-Rem-CAS;FindNaive;SplitAtomicOne");
-  ASSERT_NE(v, nullptr);
+  const Variant* v = &DefaultVariant();
   auto alg = v->make_streaming(StreamingSeed::Cold(10));
   EXPECT_TRUE(alg->ProcessBatch({}, {}).empty());
   const auto labels = alg->Labels();

@@ -1,0 +1,149 @@
+// Typed variant identity: VariantDescriptor::Parse / ToString must be
+// exact inverses over the registered name space, every Variant must carry
+// a descriptor that round-trips to its name, descriptor lookup must be
+// exact (not string matching), and the fatal lookup path must suggest the
+// nearest registered name.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/core/variant_descriptor.h"
+
+namespace connectit {
+namespace {
+
+TEST(VariantDescriptor, RoundTripsEveryRegisteredName) {
+  for (const Variant& v : AllVariants()) {
+    EXPECT_TRUE(v.descriptor.IsValid()) << v.name;
+    EXPECT_EQ(v.descriptor.ToString(), v.name);
+    const auto parsed = VariantDescriptor::Parse(v.name);
+    ASSERT_TRUE(parsed.has_value()) << v.name;
+    EXPECT_EQ(*parsed, v.descriptor) << v.name;
+    EXPECT_EQ(parsed->ToString(), v.name);
+    // Descriptor lookup is exact and lands on the same registry entry.
+    EXPECT_EQ(FindVariant(*parsed), &v) << v.name;
+  }
+}
+
+TEST(VariantDescriptor, DescriptorsAreUniqueAcrossRegistry) {
+  const std::vector<Variant>& variants = AllVariants();
+  std::set<std::string> names;
+  for (const Variant& v : variants) names.insert(v.name);
+  EXPECT_EQ(names.size(), variants.size());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    for (size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_FALSE(variants[i].descriptor == variants[j].descriptor)
+          << variants[i].name << " vs " << variants[j].name;
+    }
+  }
+}
+
+TEST(VariantDescriptor, FamilyAxisAgreesWithRegistryFamily) {
+  for (const Variant& v : AllVariants()) {
+    EXPECT_EQ(v.descriptor.family, v.family) << v.name;
+  }
+}
+
+TEST(VariantDescriptor, ParseAcceptsTypedFactoryForms) {
+  EXPECT_EQ(*VariantDescriptor::Parse("Union-Rem-CAS;FindNaive;SplitAtomicOne"),
+            VariantDescriptor::UnionFind(UniteOption::kRemCas,
+                                         FindOption::kNaive,
+                                         SpliceOption::kSplitOne));
+  EXPECT_EQ(*VariantDescriptor::Parse("Union-JTB;FindTwoTrySplit"),
+            VariantDescriptor::UnionFind(UniteOption::kJtb,
+                                         FindOption::kTwoTrySplit));
+  EXPECT_EQ(*VariantDescriptor::Parse("Liu-Tarjan;PRF"),
+            VariantDescriptor::LiuTarjan(LtConnect::kParentConnect,
+                                         LtUpdate::kRootUp,
+                                         LtShortcut::kFullShortcut,
+                                         LtAlter::kNoAlter));
+  EXPECT_EQ(*VariantDescriptor::Parse("Liu-Tarjan;CUSA"),
+            VariantDescriptor::LiuTarjan(LtConnect::kConnect,
+                                         LtUpdate::kUpdate,
+                                         LtShortcut::kShortcut,
+                                         LtAlter::kAlter));
+  EXPECT_EQ(*VariantDescriptor::Parse("Shiloach-Vishkin"),
+            VariantDescriptor::ShiloachVishkin());
+  EXPECT_EQ(*VariantDescriptor::Parse("Stergiou"),
+            VariantDescriptor::Stergiou());
+  EXPECT_EQ(*VariantDescriptor::Parse("Label-Propagation"),
+            VariantDescriptor::LabelPropagation());
+}
+
+TEST(VariantDescriptor, ParseRejectsMalformedNames) {
+  for (const char* bad : {
+           "",
+           "Union-Rem-CAS",                           // no find axis
+           "Union-Rem-CAS;FindNaive",                 // Rem needs a splice
+           "Union-Rem-CAS;FindNaive;",                // empty splice token
+           "Union-Rem-CAS;FindNaive;SplitAtomicOn",   // typo
+           "Union-Rem-CAS;FindCompress;SpliceAtomic", // invalid (App. B.2.3)
+           "Union-Async;FindNaive;SplitAtomicOne",    // splice on non-Rem
+           "Union-Async;FindTwoTrySplit",             // JTB-only find
+           "Union-JTB;FindSplit",                     // JTB find restriction
+           ";FindNaive",
+           "union-rem-cas;findnaive;splitatomicone",  // case-sensitive
+           "Liu-Tarjan",
+           "Liu-Tarjan;",
+           "Liu-Tarjan;XYZ",
+           "Liu-Tarjan;CUS",    // Connect requires Alter
+           "Liu-Tarjan;ERS",    // ExtendedConnect requires Update
+           "Liu-Tarjan;ERSA",
+           "Liu-Tarjan;PRFAA",
+           "Liu-Tarjan;prf",
+           "Shiloach-Vishkin;",
+           "Label-Propagation;PRF",
+           "NoSuchAlgorithm",
+       }) {
+    EXPECT_FALSE(VariantDescriptor::Parse(bad).has_value()) << "\"" << bad
+                                                            << "\"";
+  }
+}
+
+TEST(VariantDescriptor, EqualityIgnoresInactiveAxes) {
+  VariantDescriptor sv = VariantDescriptor::ShiloachVishkin();
+  sv.unite = UniteOption::kJtb;  // noise on an axis the family does not use
+  sv.connect = LtConnect::kExtendedConnect;
+  EXPECT_EQ(sv, VariantDescriptor::ShiloachVishkin());
+  EXPECT_EQ(FindVariant(sv), FindVariant("Shiloach-Vishkin"));
+}
+
+TEST(Registry, FindByDescriptorRejectsUnregisteredCombinations) {
+  // FindCompress + SpliceAtomic is never instantiated (paper App. B.2.3).
+  const VariantDescriptor invalid = VariantDescriptor::UnionFind(
+      UniteOption::kRemCas, FindOption::kCompress, SpliceOption::kSplice);
+  EXPECT_FALSE(invalid.IsValid());
+  EXPECT_EQ(FindVariant(invalid), nullptr);
+}
+
+TEST(Registry, DefaultVariantIsThePapersRecommendedPick) {
+  const Variant& v = DefaultVariant();
+  EXPECT_EQ(v.name, "Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  EXPECT_EQ(&v, FindVariant(VariantDescriptor::UnionFind(
+                    UniteOption::kRemCas, FindOption::kNaive,
+                    SpliceOption::kSplitOne)));
+  EXPECT_TRUE(v.root_based);
+  EXPECT_TRUE(v.supports_streaming);
+}
+
+TEST(Registry, GetVariantOrDieReturnsExactMatches) {
+  for (const char* name :
+       {"Stergiou", "Liu-Tarjan;PRF", "Union-Rem-CAS;FindNaive;SplitAtomicOne"}) {
+    EXPECT_EQ(&GetVariantOrDie(name), FindVariant(name));
+  }
+}
+
+TEST(RegistryDeathTest, GetVariantOrDieSuggestsNearestName) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      GetVariantOrDie("Union-Rem-CAS;FindNaive;SplitAtomicOn"),
+      "unknown variant \"Union-Rem-CAS;FindNaive;SplitAtomicOn\"; did you "
+      "mean \"Union-Rem-CAS;FindNaive;SplitAtomicOne\"");
+  EXPECT_DEATH(GetVariantOrDie("Liu-Tarjan;QRF"), "Liu-Tarjan;");
+}
+
+}  // namespace
+}  // namespace connectit
