@@ -1,0 +1,314 @@
+// Serving under traffic: open-loop load against the Connectivity façade.
+//
+// Replays configurable request mixes (read-mostly, write-heavy, bursty
+// arrivals, Zipfian keys) from N client threads against one Connectivity
+// index while a writer thread applies edge batches, for both serving
+// modes:
+//
+//   snapshot    — epoch-published immutable snapshots, wait-free reads
+//   shared-lock — the baseline: shared lock + lazy Θ(n) refresh per batch
+//
+// The generator is open-loop: every request has a *scheduled* arrival time
+// drawn from the offered rate, independent of when earlier requests
+// completed, and latency is measured from the scheduled arrival to
+// completion — so queueing delay under overload is charged to the server,
+// not hidden by a slow closed-loop client (the coordinated-omission trap).
+// Client threads partition one logical arrival schedule by index (the
+// stateless Rng/Zipfian samplers make request i a pure function of i), so
+// the replayed trace is identical across modes and runs.
+//
+// Reports achieved throughput and p50/p99/p999 latency per mix × mode, and
+// writes machine-readable BENCH_serving.json (schema checked in CI by
+// tools/check_bench_serving.py).
+//
+// Flags: --smoke (tiny run for CI), --out=PATH (default BENCH_serving.json),
+//        --readers=N (default 4).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/connectivity_index.h"
+#include "src/graph/generators.h"
+#include "src/parallel/random.h"
+
+namespace connectit::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct MixConfig {
+  const char* name;
+  bool zipf_keys;       // Zipfian(0.99) keys instead of uniform
+  bool bursty;          // square-wave arrivals (10x rate, 10% duty)
+  size_t batch_size;    // writer batch size
+  double batch_pause_s; // writer sleep between batches (0 = saturating)
+};
+
+struct RunConfig {
+  NodeId nodes = 0;
+  size_t readers = 4;
+  size_t ops = 0;                // total read requests per mix x mode
+  double offered_rate = 0;       // requests/second across all readers
+  size_t warmup_ops = 0;         // executed, not measured
+};
+
+struct MixResult {
+  std::string mix;
+  std::string mode;
+  double offered_rate = 0;
+  double achieved_rate = 0;
+  size_t ops = 0;
+  size_t batches = 0;
+  size_t edges_ingested = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0, max_us = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(sorted.size() - 1,
+                              static_cast<size_t>(q * sorted.size()));
+  return sorted[idx];
+}
+
+// Scheduled arrival (seconds from run start) of request i. Steady arrivals
+// space requests 1/rate apart; bursty arrivals compress each 1000-request
+// period into its first 10% (10x instantaneous rate), preserving the
+// average offered rate.
+double ArrivalTime(size_t i, double rate, bool bursty) {
+  if (!bursty) return static_cast<double>(i) / rate;
+  constexpr size_t kPeriodOps = 1000;
+  const double period_s = static_cast<double>(kPeriodOps) / rate;
+  const size_t period = i / kPeriodOps;
+  const size_t within = i % kPeriodOps;
+  return static_cast<double>(period) * period_s +
+         static_cast<double>(within) / kPeriodOps * (period_s / 10.0);
+}
+
+MixResult RunMix(const MixConfig& mix, ServingMode mode, const RunConfig& cfg,
+                 const EdgeList& stream) {
+  const size_t bulk = stream.size() / 2;
+  EdgeList base;
+  base.num_nodes = cfg.nodes;
+  base.edges.assign(stream.edges.begin(), stream.edges.begin() + bulk);
+
+  Connectivity index(Connectivity::Spec().Serving(mode));
+  index.Build(GraphHandle(base)).Stream();
+
+  // Request i's keys and kind are pure functions of i: identical traces
+  // across modes.
+  const Rng op_rng(/*seed=*/7);
+  const Zipfian zipf(cfg.nodes, /*theta=*/0.99, /*seed=*/11);
+  auto key = [&](size_t i, size_t salt) -> NodeId {
+    if (mix.zipf_keys) {
+      return static_cast<NodeId>(zipf.ScatteredSample(2 * i + salt));
+    }
+    return static_cast<NodeId>(op_rng.GetBounded(2 * i + salt, cfg.nodes));
+  };
+  // 90% SameComponent, 5% Component, 4% Acquire + 3 pinned queries,
+  // 1% NumComponents.
+  auto execute = [&](size_t i) {
+    const uint64_t kind = op_rng.Get(i) % 100;
+    const NodeId u = key(i, 0), v = key(i, 1);
+    if (kind < 90) {
+      index.SameComponent(u, v);
+    } else if (kind < 95) {
+      index.Component(u);
+    } else if (kind < 99) {
+      const Snapshot snap = index.Acquire();
+      snap.SameComponent(u, v);
+      snap.Component(u);
+      snap.NumComponents();
+    } else {
+      index.NumComponents();
+    }
+  };
+
+  // Warmup (unmeasured, closed-loop) so first-touch costs (lazy refresh,
+  // page faults) do not land in the measured window.
+  for (size_t i = 0; i < cfg.warmup_ops; ++i) execute(i);
+
+  // Writer: cycles the held-out tail as insert batches until readers
+  // finish, paced by the mix's batch interval.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches{0};
+  std::atomic<size_t> edges_ingested{0};
+  std::thread writer([&] {
+    size_t cursor = bulk;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t end = std::min(cursor + mix.batch_size, stream.size());
+      index.Insert(std::vector<Edge>(stream.edges.begin() + cursor,
+                                     stream.edges.begin() + end));
+      edges_ingested.fetch_add(end - cursor, std::memory_order_relaxed);
+      batches.fetch_add(1, std::memory_order_relaxed);
+      cursor = end < stream.size() ? end : bulk;  // wrap: endless ingest
+      if (mix.batch_pause_s > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(mix.batch_pause_s));
+      }
+    }
+  });
+
+  // Readers: partition the arrival schedule by index. Latency is
+  // completion minus *scheduled* arrival.
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(10);
+  std::vector<std::vector<double>> lat_us(cfg.readers);
+  std::vector<Clock::time_point> last_done(cfg.readers, t0);
+  std::vector<std::thread> readers;
+  readers.reserve(cfg.readers);
+  for (size_t t = 0; t < cfg.readers; ++t) {
+    readers.emplace_back([&, t] {
+      lat_us[t].reserve(cfg.ops / cfg.readers + 1);
+      for (size_t i = t; i < cfg.ops; i += cfg.readers) {
+        const double at = ArrivalTime(i, cfg.offered_rate, mix.bursty);
+        const Clock::time_point deadline =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(at));
+        // Open loop: wait for the scheduled arrival; if we are already
+        // late (overload), fire immediately and charge the delay.
+        if (deadline - Clock::now() > std::chrono::milliseconds(1)) {
+          std::this_thread::sleep_until(deadline);
+        } else {
+          while (Clock::now() < deadline) std::this_thread::yield();
+        }
+        execute(cfg.warmup_ops + i);
+        const Clock::time_point done = Clock::now();
+        lat_us[t].push_back(
+            std::chrono::duration<double, std::micro>(done - deadline)
+                .count());
+        last_done[t] = done;
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  writer.join();
+
+  std::vector<double> merged;
+  merged.reserve(cfg.ops);
+  Clock::time_point end = t0;
+  for (size_t t = 0; t < cfg.readers; ++t) {
+    merged.insert(merged.end(), lat_us[t].begin(), lat_us[t].end());
+    end = std::max(end, last_done[t]);
+  }
+  std::sort(merged.begin(), merged.end());
+
+  MixResult result;
+  result.mix = mix.name;
+  result.mode = ToString(mode);
+  result.offered_rate = cfg.offered_rate;
+  result.ops = merged.size();
+  const double elapsed = std::chrono::duration<double>(end - t0).count();
+  result.achieved_rate = elapsed > 0 ? merged.size() / elapsed : 0;
+  result.batches = batches.load();
+  result.edges_ingested = edges_ingested.load();
+  result.p50_us = Percentile(merged, 0.50);
+  result.p99_us = Percentile(merged, 0.99);
+  result.p999_us = Percentile(merged, 0.999);
+  result.max_us = merged.empty() ? 0 : merged.back();
+  return result;
+}
+
+void WriteJson(const char* path, const RunConfig& cfg,
+               const std::vector<MixResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"nodes\": %llu,\n",
+               static_cast<unsigned long long>(cfg.nodes));
+  std::fprintf(f, "  \"readers\": %zu,\n", cfg.readers);
+  std::fprintf(f, "  \"mixes\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const MixResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"mix\": \"%s\", \"mode\": \"%s\", "
+        "\"offered_ops_per_sec\": %.1f, \"achieved_ops_per_sec\": %.1f, "
+        "\"ops\": %zu, \"batches\": %zu, \"edges_ingested\": %zu, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f, "
+        "\"max_us\": %.2f}%s\n",
+        r.mix.c_str(), r.mode.c_str(), r.offered_rate, r.achieved_rate,
+        r.ops, r.batches, r.edges_ingested, r.p50_us, r.p99_us, r.p999_us,
+        r.max_us, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace connectit::bench
+
+int main(int argc, char** argv) {
+  using namespace connectit;
+  using namespace connectit::bench;
+
+  bool smoke = false;
+  const char* out = "BENCH_serving.json";
+  size_t readers = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--readers=", 10) == 0) {
+      readers = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=PATH] [--readers=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  RunConfig cfg;
+  cfg.readers = readers == 0 ? 1 : readers;
+  cfg.nodes = smoke ? (1u << 12) : StreamNodes(1u << 20, 1u << 16);
+  cfg.ops = smoke ? 3000 : 20000;
+  cfg.offered_rate = smoke ? 20000 : 50000;
+  cfg.warmup_ops = smoke ? 200 : 2000;
+
+  const EdgeList stream =
+      GenerateRmatEdges(cfg.nodes, 4ull * cfg.nodes, /*seed=*/97);
+
+  const size_t batch = smoke ? 512 : 2048;
+  const std::vector<MixConfig> mixes = {
+      {"read_mostly", /*zipf=*/false, /*bursty=*/false, batch, 0.005},
+      {"write_heavy", /*zipf=*/false, /*bursty=*/false, 2 * batch, 0.0},
+      {"bursty", /*zipf=*/false, /*bursty=*/true, batch, 0.005},
+      {"zipfian", /*zipf=*/true, /*bursty=*/false, batch, 0.005},
+  };
+
+  PrintTitle("Serving under open-loop traffic: snapshot vs shared-lock");
+  std::printf("%u nodes, %zu readers, offered %.0f ops/s, %zu ops/mix\n",
+              cfg.nodes, cfg.readers, cfg.offered_rate, cfg.ops);
+  std::printf("%-12s %-12s %14s %14s %10s %10s %10s %8s\n", "Mix", "Mode",
+              "Offered/s", "Achieved/s", "p50(us)", "p99(us)", "p999(us)",
+              "Batches");
+  PrintRule(110);
+
+  std::vector<MixResult> results;
+  for (const MixConfig& mix : mixes) {
+    for (const ServingMode mode :
+         {ServingMode::kSharedLock, ServingMode::kSnapshot}) {
+      const MixResult r = RunMix(mix, mode, cfg, stream);
+      std::printf("%-12s %-12s %14.0f %14.0f %10.1f %10.1f %10.1f %8zu\n",
+                  r.mix.c_str(), r.mode.c_str(), r.offered_rate,
+                  r.achieved_rate, r.p50_us, r.p99_us, r.p999_us, r.batches);
+      results.push_back(r);
+    }
+  }
+
+  WriteJson(out, cfg, results);
+  return 0;
+}

@@ -54,6 +54,7 @@
 #include "src/graph/graph_handle.h"
 #include "src/graph/io.h"
 #include "src/graph/sharded.h"
+#include "src/stats/counters.h"
 
 namespace {
 
@@ -91,6 +92,7 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
                   const EdgeList& all, const Connectivity::Spec& spec,
                   const std::string& sampling_name, size_t num_batches,
                   size_t batch_size) {
+  const stats::ServingSnapshot serving_before = stats::ReadServing();
   Connectivity index(spec);
   if (!index.variant().supports_streaming) {
     std::fprintf(stderr, "error: %s does not support streaming (try --list)\n",
@@ -176,6 +178,33 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
     std::printf("flat csr materializations: %llu\n",
                 static_cast<unsigned long long>(ShardedCsrMaterializations() -
                                                 builds_before));
+  }
+
+  // Serving-layer counters (src/parallel/epoch.h): under the default
+  // snapshot mode every Build/Stream/Insert publishes once, each
+  // publication opens a grace period, and replaced labelings drain through
+  // deferred reclamation — the backlog is whatever a pinned reader still
+  // holds (0 here: the CLI holds no snapshots across batches).
+  {
+    const stats::ServingSnapshot s = stats::ReadServing();
+    std::printf(
+        "serving (%s): %llu snapshot publications, %llu epoch advances, "
+        "%llu retired / %llu reclaimed (backlog %llu), "
+        "%llu lazy label refreshes\n",
+        ToString(spec.serving()),
+        static_cast<unsigned long long>(s.snapshot_publications -
+                                        serving_before.snapshot_publications),
+        static_cast<unsigned long long>(s.epoch_advances -
+                                        serving_before.epoch_advances),
+        static_cast<unsigned long long>(s.snapshots_retired -
+                                        serving_before.snapshots_retired),
+        static_cast<unsigned long long>(s.snapshots_reclaimed -
+                                        serving_before.snapshots_reclaimed),
+        static_cast<unsigned long long>(
+            (s.snapshots_retired - serving_before.snapshots_retired) -
+            (s.snapshots_reclaimed - serving_before.snapshots_reclaimed)),
+        static_cast<unsigned long long>(s.label_refreshes -
+                                        serving_before.label_refreshes));
   }
 
   // The handoff invariant: seeded streaming over the tail must land on the

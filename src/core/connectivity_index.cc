@@ -7,6 +7,7 @@
 
 #include "src/core/components.h"
 #include "src/graph/builder.h"
+#include "src/parallel/epoch.h"
 
 namespace connectit {
 
@@ -15,6 +16,20 @@ namespace {
 [[noreturn]] void DieF(const char* message) {
   std::fprintf(stderr, "fatal: %s\n", message);
   std::abort();
+}
+
+void DeleteSnapshotData(void* p) {
+  delete static_cast<internal::SnapshotData*>(p);
+}
+
+// Precomputes everything the read surface serves (count, sizes) so every
+// query against the published block is plain array indexing.
+internal::SnapshotData* MakeSnapshotData(std::vector<NodeId> labels) {
+  auto* data = new internal::SnapshotData();
+  data->num_components = CountComponents(labels);
+  data->sizes = ComponentSizes(labels);
+  data->labels = std::move(labels);
+  return data;
 }
 
 // Builds an owning handle of `target` representation from a flat CSR
@@ -65,6 +80,70 @@ GraphHandle ConvertTo(const GraphHandle& in, GraphRepresentation target,
 
 }  // namespace
 
+const char* ToString(ServingMode mode) {
+  switch (mode) {
+    case ServingMode::kSnapshot: return "snapshot";
+    case ServingMode::kSharedLock: return "shared-lock";
+  }
+  return "?";
+}
+
+// ---- Snapshot ----
+
+Snapshot::~Snapshot() { Release(); }
+
+void Snapshot::Release() {
+  const internal::SnapshotData* data = data_;
+  data_ = nullptr;
+  if (data == nullptr) return;
+  // Read `published` before the decrement: the instant our reference is
+  // dropped, a concurrent reclaim pass may observe refs==0 and free the
+  // block, so no field may be touched after fetch_sub.
+  const bool published = data->published;
+  if (data->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (published) {
+      // The block sits in the epoch domain's retire list (its publisher
+      // unpublished it); we just dropped the last reference keeping it
+      // there, so sweep now instead of waiting for the next publication.
+      epoch::Domain::Global().TryReclaim();
+    } else {
+      // On-demand (kSharedLock-mode) snapshot: never published, owned by
+      // its handles alone.
+      delete data;
+    }
+  }
+}
+
+Snapshot::Snapshot(const Snapshot& other) : data_(other.data_) {
+  if (data_ != nullptr) data_->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Snapshot& Snapshot::operator=(const Snapshot& other) {
+  if (this != &other) {
+    if (other.data_ != nullptr) {
+      other.data_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+    Release();
+    data_ = other.data_;
+  }
+  return *this;
+}
+
+Snapshot::Snapshot(Snapshot&& other) noexcept : data_(other.data_) {
+  other.data_ = nullptr;
+}
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+// ---- Connectivity::Spec ----
+
 Connectivity::Spec Connectivity::Spec::Auto(const GraphHandle& graph,
                                             bool streaming) {
   Spec spec;  // DefaultVariant: fastest all-around, root-based, streamable.
@@ -100,6 +179,8 @@ Connectivity::Spec& Connectivity::Spec::Algorithm(std::string_view name) {
   return *this;
 }
 
+// ---- Connectivity ----
+
 Connectivity::Connectivity(Spec spec)
     : spec_(std::move(spec)), variant_(FindVariant(spec_.algorithm())) {
   if (variant_ == nullptr) {
@@ -109,7 +190,12 @@ Connectivity::Connectivity(Spec spec)
                  spec_.algorithm().ToString().c_str());
     std::abort();
   }
+  // Head is never null under snapshot serving: reads before the first
+  // Build serve the empty labeling, exactly like the shared-lock path.
+  if (snapshot_serving()) PublishLocked({});
 }
+
+Connectivity::~Connectivity() { RetireSnapshot(); }
 
 Connectivity::Connectivity(Connectivity&& other) noexcept {
   std::unique_lock<std::shared_mutex> lock(other.mu_);
@@ -120,15 +206,22 @@ Connectivity::Connectivity(Connectivity&& other) noexcept {
   labels_stale_ = other.labels_stale_;
   built_ = other.built_;
   streaming_ = std::move(other.streaming_);
+  snapshot_.store(other.snapshot_.exchange(nullptr),
+                  std::memory_order_release);
+  publish_seq_ = other.publish_seq_;
   other.built_ = false;
   other.labels_stale_ = false;
   other.labels_.clear();
   other.graph_ = GraphHandle();
+  // The moved-from index reverts to un-built but must keep serving (its
+  // spec stays usable): republish an empty labeling.
+  if (other.snapshot_serving()) other.PublishLocked({});
 }
 
 Connectivity& Connectivity::operator=(Connectivity&& other) noexcept {
   if (this != &other) {
     std::scoped_lock lock(mu_, other.mu_);
+    RetireSnapshot();
     spec_ = std::move(other.spec_);
     variant_ = other.variant_;
     graph_ = std::move(other.graph_);
@@ -136,12 +229,36 @@ Connectivity& Connectivity::operator=(Connectivity&& other) noexcept {
     labels_stale_ = other.labels_stale_;
     built_ = other.built_;
     streaming_ = std::move(other.streaming_);
+    snapshot_.store(other.snapshot_.exchange(nullptr),
+                    std::memory_order_release);
+    publish_seq_ = other.publish_seq_;
     other.built_ = false;
     other.labels_stale_ = false;
     other.labels_.clear();
     other.graph_ = GraphHandle();
+    if (other.snapshot_serving()) other.PublishLocked({});
   }
   return *this;
+}
+
+void Connectivity::PublishLocked(std::vector<NodeId> labels) {
+  internal::SnapshotData* data = MakeSnapshotData(std::move(labels));
+  data->version = ++publish_seq_;
+  data->published = true;
+  internal::SnapshotData* old = snapshot_.exchange(data);  // seq_cst: pairs
+  // with the reader-side pin fence (see epoch.h's safety argument).
+  stats::RecordSnapshotPublication();
+  epoch::Domain& domain = epoch::Domain::Global();
+  if (old != nullptr) domain.Retire(old, DeleteSnapshotData, &old->refs);
+  domain.AdvanceAndReclaim();
+}
+
+void Connectivity::RetireSnapshot() {
+  internal::SnapshotData* old = snapshot_.exchange(nullptr);
+  if (old == nullptr) return;
+  epoch::Domain& domain = epoch::Domain::Global();
+  domain.Retire(old, DeleteSnapshotData, &old->refs);
+  domain.AdvanceAndReclaim();
 }
 
 Connectivity& Connectivity::Build(const GraphHandle& graph) {
@@ -158,6 +275,7 @@ Connectivity& Connectivity::Build(const GraphHandle& graph) {
   labels_stale_ = false;
   built_ = true;
   streaming_.reset();
+  if (snapshot_serving()) PublishLocked(labels_);
   return *this;
 }
 
@@ -182,6 +300,9 @@ Connectivity& Connectivity::Stream() {
       variant_->make_streaming(StreamingSeed::FromLabels(std::move(labels_)));
   labels_.clear();
   labels_stale_ = true;
+  // Publish the adopted (min-root normalized) labeling so snapshot reads
+  // switch to the streaming structure's representative choice at once.
+  if (snapshot_serving()) PublishLocked(streaming_->Labels());
   return *this;
 }
 
@@ -195,6 +316,7 @@ Connectivity& Connectivity::Stream(NodeId num_nodes) {
   labels_stale_ = true;
   graph_ = GraphHandle();
   built_ = false;  // no static graph behind this state
+  if (snapshot_serving()) PublishLocked(streaming_->Labels());
   return *this;
 }
 
@@ -210,8 +332,13 @@ std::vector<uint8_t> Connectivity::Insert(const std::vector<Edge>& updates,
     DieF("Connectivity::Insert requires Stream() first");
   }
   std::vector<uint8_t> results = streaming_->ProcessBatch(updates, queries);
-  // Don't pay the Theta(n) snapshot per batch: the first read after this
-  // batch refreshes the served labeling (ReadLabels).
+  if (snapshot_serving()) {
+    // Publish the post-batch labeling: Θ(n) on the mutator so every read
+    // stays O(1) and wait-free. Readers switch labelings at the pointer
+    // swap — never mid-batch.
+    PublishLocked(streaming_->Labels());
+  }
+  // Mutator-side staging refreshes lazily (shared-lock reads, re-Stream).
   labels_stale_ = true;
   return results;
 }
@@ -227,32 +354,79 @@ SpanningForestResult Connectivity::SpanningForest() const {
 }
 
 NodeId Connectivity::Component(NodeId v) const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    return snapshot_.load(std::memory_order_acquire)->labels.at(v);
+  }
   return ReadLabels(
       [v](const std::vector<NodeId>& labels) { return labels.at(v); });
 }
 
 bool Connectivity::SameComponent(NodeId u, NodeId v) const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    const internal::SnapshotData* data =
+        snapshot_.load(std::memory_order_acquire);
+    return data->labels.at(u) == data->labels.at(v);
+  }
   return ReadLabels([u, v](const std::vector<NodeId>& labels) {
     return labels.at(u) == labels.at(v);
   });
 }
 
 NodeId Connectivity::NumComponents() const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    return snapshot_.load(std::memory_order_acquire)->num_components;
+  }
   return ReadLabels(
       [](const std::vector<NodeId>& labels) { return CountComponents(labels); });
 }
 
 std::vector<NodeId> Connectivity::ComponentSizes() const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    return snapshot_.load(std::memory_order_acquire)->sizes;
+  }
   return ReadLabels([](const std::vector<NodeId>& labels) {
     return connectit::ComponentSizes(labels);
   });
 }
 
 std::vector<NodeId> Connectivity::Labels() const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    return snapshot_.load(std::memory_order_acquire)->labels;
+  }
   return ReadLabels([](const std::vector<NodeId>& labels) { return labels; });
 }
 
+Snapshot Connectivity::Acquire() const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    const internal::SnapshotData* data =
+        snapshot_.load(std::memory_order_acquire);
+    // The guard keeps the block alive across this increment even if a
+    // concurrent publication just retired it; afterwards the reference
+    // does.
+    data->refs.fetch_add(1, std::memory_order_acq_rel);
+    return Snapshot(data);
+  }
+  // Baseline mode has no published block: materialize a one-off,
+  // unpublished snapshot under the lock (Θ(n)).
+  return ReadLabels([](const std::vector<NodeId>& labels) {
+    internal::SnapshotData* data = MakeSnapshotData(labels);
+    data->refs.store(1, std::memory_order_relaxed);
+    return Snapshot(data);
+  });
+}
+
 NodeId Connectivity::num_nodes() const {
+  if (snapshot_serving()) {
+    epoch::Domain::Guard guard;
+    return static_cast<NodeId>(
+        snapshot_.load(std::memory_order_acquire)->labels.size());
+  }
   return ReadLabels([](const std::vector<NodeId>& labels) {
     return static_cast<NodeId>(labels.size());
   });

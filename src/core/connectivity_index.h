@@ -16,6 +16,7 @@
 //   index.SameComponent(u, v);           // serve reads...
 //   index.Stream();                      // ...hand off to incremental mode
 //   index.Insert(todays_edges, queries); // batches + inline queries (§3.5)
+//   Snapshot snap = index.Acquire();     // pin one labeling across queries
 //   index.NumComponents();               // reads stay live throughout
 //
 // Lifecycle: Build runs the configured variant's static pass on the graph
@@ -23,26 +24,43 @@
 // seeds the variant's own streaming structure from the built labeling
 // through the registry's StreamingSeed seam (the same validation and
 // min-rooted normalization as StreamingSeed::FromStatic, without re-running
-// the pass); Insert applies §3.5 batches. The read methods (Component,
-// SameComponent, NumComponents, ComponentSizes, Labels) are thread-safe
-// against each other AND against concurrent Build/Stream/Insert calls:
-// readers share a lock, mutators take it exclusively, and each read serves
-// a consistent snapshot — the labeling as of some completed batch prefix.
-// Build's pass runs outside the lock (reads keep serving the old labeling
-// until the swap); Insert holds the lock for the batch, so reads
-// interleave *between* batches rather than racing one. The post-batch
-// label snapshot is refreshed lazily on the first read after an Insert,
-// so a pure ingest loop never pays the Theta(n) snapshot per batch.
+// the pass); Insert applies §3.5 batches.
+//
+// Serving model (ServingMode::kSnapshot, the default): every mutation
+// (Build, Stream, Insert) finishes by *publishing* an immutable, fully
+// path-compressed Snapshot of the labeling through one atomic pointer
+// swap. Reads (Component, SameComponent, NumComponents, ComponentSizes,
+// Labels) dereference the published pointer inside an epoch guard
+// (src/parallel/epoch.h) and answer by plain array indexing — wait-free,
+// no lock, no parent-chasing, scaling to all cores while an ingest thread
+// applies batches. A reader can never observe a half-applied batch: the
+// pointer swaps only between complete labelings. Replaced snapshots are
+// retired into the epoch domain and freed once no reader can hold them
+// (and, for Acquire'd snapshots, once every handle is released). The
+// wait-free AtomicLoad find discipline of §3.5 thereby extends to the
+// serving layer. The cost sits on the mutator: each Insert pays Θ(n) to
+// materialize the compressed labeling it publishes.
+//
+// ServingMode::kSharedLock keeps the previous design as an A/B baseline
+// (bench_serving measures both): readers share a lock against exclusive
+// mutators, and the served labeling is refreshed lazily — an Insert only
+// marks it stale, and the first read afterwards pays the Θ(n) refresh once
+// (the stale flag is re-checked under the exclusive lock, so racing
+// readers cannot duplicate the refresh; stats::ReadServing().
+// label_refreshes counts them). A pure ingest loop therefore never pays
+// the snapshot cost per batch, at the price of lock-limited reads.
 //
 // Spec is a builder: algorithm (typed descriptor or registry-name string),
-// sampling scheme, target representation, shard count. Spec::Auto(graph,
-// streaming) inspects graph traits (density, input representation, whether
-// streaming is requested) and picks a variant + representation per the
-// paper's guidance.
+// sampling scheme, target representation, shard count, serving mode.
+// Spec::Auto(graph, streaming) inspects graph traits (density, input
+// representation, whether streaming is requested) and picks a variant +
+// representation per the paper's guidance.
 
 #ifndef CONNECTIT_CORE_CONNECTIVITY_INDEX_H_
 #define CONNECTIT_CORE_CONNECTIVITY_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -52,15 +70,82 @@
 #include "src/core/registry.h"
 #include "src/core/variant_descriptor.h"
 #include "src/graph/graph_handle.h"
+#include "src/stats/counters.h"
 
 namespace connectit {
+
+// How the read methods are served. kSnapshot is the default; kSharedLock
+// is kept as the measured baseline (see the header comment).
+enum class ServingMode : uint8_t { kSnapshot, kSharedLock };
+
+const char* ToString(ServingMode mode);
+
+namespace internal {
+
+// One published labeling: immutable after construction (refs aside), so
+// any number of readers index it without synchronization.
+struct SnapshotData {
+  std::vector<NodeId> labels;  // fully path-compressed: labels[labels[v]]
+                               // == labels[v] for every v
+  std::vector<NodeId> sizes;   // component size by representative label
+  NodeId num_components = 0;
+  uint64_t version = 0;   // publication sequence number of this index
+  bool published = false;  // true = lifetime managed by the epoch domain
+  mutable std::atomic<uint64_t> refs{0};  // outstanding Snapshot handles
+};
+
+}  // namespace internal
+
+// An immutable, refcounted view of one published labeling. Answers are
+// frozen at Acquire() time: any number of queries against one Snapshot
+// are mutually consistent no matter how many batches land concurrently.
+// Cheap to copy (one atomic increment); holding one defers reclamation of
+// exactly its own block, never the epoch machinery. A default-constructed
+// Snapshot is empty (valid() == false, zero nodes).
+class Snapshot {
+ public:
+  Snapshot() = default;
+  ~Snapshot();
+  Snapshot(const Snapshot& other);
+  Snapshot& operator=(const Snapshot& other);
+  Snapshot(Snapshot&& other) noexcept;
+  Snapshot& operator=(Snapshot&& other) noexcept;
+
+  bool valid() const { return data_ != nullptr; }
+
+  NodeId num_nodes() const {
+    return data_ == nullptr ? 0 : static_cast<NodeId>(data_->labels.size());
+  }
+  NodeId Component(NodeId v) const { return data_->labels.at(v); }
+  bool SameComponent(NodeId u, NodeId v) const {
+    return data_->labels.at(u) == data_->labels.at(v);
+  }
+  NodeId NumComponents() const {
+    return data_ == nullptr ? 0 : data_->num_components;
+  }
+  // Size of each component, indexed by representative (0 elsewhere).
+  const std::vector<NodeId>& ComponentSizes() const { return data_->sizes; }
+  const std::vector<NodeId>& Labels() const { return data_->labels; }
+
+  // Publication sequence number: strictly increasing per Connectivity
+  // publication, 0 for on-demand (kSharedLock-mode) snapshots.
+  uint64_t version() const { return data_ == nullptr ? 0 : data_->version; }
+
+ private:
+  friend class Connectivity;
+  // Takes ownership of one reference the caller already holds on `data`.
+  explicit Snapshot(const internal::SnapshotData* data) : data_(data) {}
+  void Release();
+
+  const internal::SnapshotData* data_ = nullptr;
+};
 
 class Connectivity {
  public:
   class Spec {
    public:
     // Default: the paper's recommended all-around variant (DefaultVariant),
-    // no sampling, keep the input graph's representation.
+    // no sampling, keep the input graph's representation, snapshot serving.
     Spec() : algorithm_(DefaultVariant().descriptor) {}
 
     // Picks algorithm, sampling, and representation from the graph's
@@ -103,18 +188,28 @@ class Connectivity {
       return *this;
     }
 
+    // Read-path discipline; see the header comment. kSnapshot (default):
+    // wait-free epoch-published snapshots, mutators pay Θ(n) per batch.
+    // kSharedLock: the lock-based baseline with lazy refresh.
+    Spec& Serving(ServingMode mode) {
+      serving_ = mode;
+      return *this;
+    }
+
     const VariantDescriptor& algorithm() const { return algorithm_; }
     const SamplingConfig& sampling() const { return sampling_; }
     std::optional<GraphRepresentation> representation() const {
       return representation_;
     }
     size_t shards() const { return shards_; }
+    ServingMode serving() const { return serving_; }
 
    private:
     VariantDescriptor algorithm_;
     SamplingConfig sampling_;
     std::optional<GraphRepresentation> representation_;
     size_t shards_ = 0;
+    ServingMode serving_ = ServingMode::kSnapshot;
   };
 
   // Resolves the Spec's descriptor against the registry; dies if the
@@ -122,6 +217,11 @@ class Connectivity {
   // descriptors produced by Parse or Spec::Auto).
   Connectivity() : Connectivity(Spec()) {}
   explicit Connectivity(Spec spec);
+
+  // Retires the published snapshot into the epoch domain. Snapshots
+  // acquired from this index stay valid after destruction — their blocks
+  // are reclaimed when the last handle releases.
+  ~Connectivity();
 
   // Movable for setup-time ergonomics (pick-the-winner loops); the
   // moved-from index reverts to the un-built state of its spec. Not
@@ -160,7 +260,9 @@ class Connectivity {
 
   // Applies one batch of edge insertions and answers the batched
   // connectivity queries (one byte per query: 1 = connected after this
-  // batch). Batches serialize against each other and against reads.
+  // batch). Batches serialize against each other; under kSnapshot serving
+  // the post-batch labeling is published before Insert returns, so every
+  // subsequent read sees it.
   std::vector<uint8_t> Insert(const std::vector<Edge>& updates,
                               const std::vector<Edge>& queries = {});
 
@@ -170,6 +272,8 @@ class Connectivity {
   SpanningForestResult SpanningForest() const;
 
   // ---- thread-safe reads against the current labeling ----
+  // kSnapshot: wait-free (epoch guard + array indexing, no lock).
+  // kSharedLock: shared lock, lazy Θ(n) refresh after a batch.
 
   // The component representative of v (vertices in the same component
   // report the same representative).
@@ -181,6 +285,13 @@ class Connectivity {
   // Snapshot of the full labeling.
   std::vector<NodeId> Labels() const;
 
+  // Pins the current labeling for multi-query consistency: every answer
+  // from the returned Snapshot reflects the same batch prefix, no matter
+  // how many Inserts land while it is held. Wait-free under kSnapshot
+  // serving; under kSharedLock it materializes a one-off snapshot (Θ(n))
+  // under the lock.
+  Snapshot Acquire() const;
+
   NodeId num_nodes() const;
   // Representation the index was built on (kCsr before any Build).
   GraphRepresentation representation() const;
@@ -188,11 +299,26 @@ class Connectivity {
  private:
   void CheckBuilt(const char* op) const;
 
+  // Builds a SnapshotData (sizes + component count precomputed) from a
+  // fully compressed labeling and swaps it in as the published snapshot;
+  // retires the previous one. Callers hold mu_ exclusively.
+  void PublishLocked(std::vector<NodeId> labels);
+
+  // Unpublishes and retires the current snapshot (destructor, move-out).
+  void RetireSnapshot();
+
+  bool snapshot_serving() const {
+    return spec_.serving() == ServingMode::kSnapshot;
+  }
+
   // Runs fn(labels) under a shared lock, first refreshing the snapshot
   // from the streaming structure (under the exclusive lock) if an Insert
-  // left it stale. Keeps reads wait-free of the Theta(n) snapshot cost on
-  // the ingest path: batches just flip the stale bit, and the first read
-  // afterwards pays for the refresh once.
+  // left it stale. Keeps reads free of the Theta(n) snapshot cost on the
+  // ingest path: batches just flip the stale bit, and the first read
+  // afterwards pays for the refresh once — the stale flag is re-checked
+  // after the exclusive lock is acquired, so readers racing for the
+  // refresh never run it twice (stats::ReadServing().label_refreshes
+  // counts actual refreshes; tests pin "one per batch").
   template <typename F>
   decltype(auto) ReadLabels(F&& fn) const {
     {
@@ -203,6 +329,7 @@ class Connectivity {
     if (labels_stale_) {
       labels_ = streaming_->Labels();
       labels_stale_ = false;
+      stats::RecordLabelRefresh();
     }
     return fn(labels_);
   }
@@ -212,12 +339,21 @@ class Connectivity {
 
   mutable std::shared_mutex mu_;
   GraphHandle graph_;  // the built graph, Spec representation
-  // Served labeling (empty before Build/Stream). Stale after an Insert
-  // until the next read refreshes it from streaming_.
+  // Mutator-side labeling staging (empty before Build/Stream). Under
+  // kSharedLock serving this is also what reads serve; stale after an
+  // Insert until the next read refreshes it from streaming_. Under
+  // kSnapshot serving reads never touch it — it only carries the
+  // Build→Stream handoff.
   mutable std::vector<NodeId> labels_;
   mutable bool labels_stale_ = false;
   bool built_ = false;
   std::unique_ptr<StreamingConnectivity> streaming_;
+
+  // kSnapshot serving: the published labeling. Never null in that mode
+  // (an empty snapshot is published at construction); always null under
+  // kSharedLock. Swapped only under mu_; loaded lock-free by readers.
+  std::atomic<internal::SnapshotData*> snapshot_{nullptr};
+  uint64_t publish_seq_ = 0;
 };
 
 }  // namespace connectit

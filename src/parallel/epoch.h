@@ -1,0 +1,223 @@
+// Epoch-based reclamation (EBR / RCU-style) for atomically published
+// immutable states.
+//
+// The serving layer (connectivity_index.h) publishes immutable snapshot
+// blocks through a single atomic pointer: mutators build a new block, swap
+// it in, and *retire* the old one. Readers must be able to dereference the
+// pointer they loaded without locks, so retired blocks cannot be freed
+// until every reader that might hold them has moved on. This header
+// provides that grace-period machinery:
+//
+//   - Readers wrap each access in an epoch::Guard — two relaxed-cost
+//     atomic stores (pin, unpin) around the pointer load. Wait-free.
+//   - Writers call Retire(block) after unpublishing it, then
+//     AdvanceAndReclaim(): bump the global epoch and free every retired
+//     block whose retire-epoch precedes the oldest pinned reader.
+//   - A block may additionally carry a refcount (snapshot handles pinned
+//     across many queries); reclamation then also waits for refs == 0, so
+//     a long-held snapshot defers only its own block, never the epoch.
+//
+// Safety argument (the only subtle case): a reader pins epoch e, then
+// loads the published pointer. If the load returns a block B that a writer
+// retires at epoch r, then the pin-store precedes the writer's
+// unpublish-exchange in the seq_cst order (otherwise the load would have
+// seen B's replacement), and r — read from the monotonic epoch counter
+// after that exchange — satisfies e <= r. Reclamation frees B only when
+// every active pin is > r, so the reader's pin blocks the free. The
+// seq_cst fence in Pin() is what makes the pin-store visible to the
+// writer's slot scan before the reader's pointer load can execute.
+//
+// The writer side (Retire / AdvanceAndReclaim / TryReclaim) serializes on
+// an internal mutex; it is called from mutator paths that already hold the
+// owning structure's exclusive lock, so the mutex is uncontended in
+// practice. Reader registration uses a fixed slot table: the first Guard
+// on a thread claims a cache-line-padded slot, released at thread exit.
+
+#ifndef CONNECTIT_PARALLEL_EPOCH_H_
+#define CONNECTIT_PARALLEL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/stats/counters.h"
+
+namespace connectit::epoch {
+
+inline constexpr uint64_t kIdle = ~0ull;
+
+// Upper bound on threads concurrently *inside* a Guard-protected region.
+// Slots are recycled at thread exit, so this bounds live readers, not
+// thread creations. Exceeding it aborts loudly rather than racing.
+inline constexpr size_t kMaxSlots = 512;
+
+class Domain {
+ public:
+  // The process-wide domain every published snapshot uses. Function-local
+  // static: snapshots may outlive the structure that published them, so
+  // the reclamation state must outlive all of those structures too.
+  static Domain& Global() {
+    static Domain* domain = new Domain();  // never destroyed (see above)
+    return *domain;
+  }
+
+  // ---- reader side (wait-free) ----
+
+ private:
+  struct Slot;
+
+ public:
+  class Guard {
+   public:
+    explicit Guard(Domain& domain = Global()) : domain_(&domain) {
+      Slot& slot = domain_->ThreadSlot();
+      slot_ = &slot;
+      // Nesting support: an inner guard inherits the outer pin (the outer
+      // epoch is older, hence strictly more protective).
+      saved_ = slot.epoch.load(std::memory_order_relaxed);
+      if (saved_ == kIdle) {
+        slot.epoch.store(domain_->epoch_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        // Order the pin before any subsequent pointer load (see the
+        // safety argument in the header comment).
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
+    }
+
+    ~Guard() {
+      if (saved_ == kIdle) {
+        slot_->epoch.store(kIdle, std::memory_order_release);
+      }
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Domain* domain_;
+    Slot* slot_;
+    uint64_t saved_;
+  };
+
+  // ---- writer side (serialized on an internal mutex) ----
+
+  // Hands `block` to the domain for deferred deletion via `deleter`. Call
+  // after the block is unpublished (no longer loadable by new readers).
+  // `refs` may be null; when set, deletion additionally waits until the
+  // count reaches zero, so refcounted handles acquired before the retire
+  // keep the block alive past any number of epoch advances.
+  void Retire(void* block, void (*deleter)(void*),
+              const std::atomic<uint64_t>* refs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.push_back(
+        Retired{block, deleter, refs, epoch_.load(std::memory_order_relaxed)});
+    stats::RecordSnapshotRetired();
+  }
+
+  // Opens a new grace period and frees every retired block no pinned
+  // reader can still hold. The usual post-publish call.
+  void AdvanceAndReclaim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    stats::RecordEpochAdvance();
+    ReclaimLocked();
+  }
+
+  // Reclaims without advancing — the path a refcount release takes so a
+  // dropped snapshot does not linger until the next publication.
+  void TryReclaim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReclaimLocked();
+  }
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // Retired-but-not-yet-freed blocks (the deferred-reclamation backlog).
+  size_t backlog() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return retired_.size();
+  }
+
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Retired {
+    void* block;
+    void (*deleter)(void*);
+    const std::atomic<uint64_t>* refs;  // null = epoch-only lifetime
+    uint64_t retire_epoch;
+  };
+
+  // Releases the slot when its thread exits so the table bounds live
+  // readers, not thread creations.
+  struct SlotLease {
+    Slot* slot = nullptr;
+    ~SlotLease() {
+      if (slot != nullptr) {
+        slot->epoch.store(kIdle, std::memory_order_release);
+        slot->claimed.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  Slot& ThreadSlot() {
+    thread_local SlotLease lease;
+    if (lease.slot == nullptr) {
+      for (size_t i = 0; i < kMaxSlots; ++i) {
+        bool expected = false;
+        if (slots_[i].claimed.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          lease.slot = &slots_[i];
+          return slots_[i];
+        }
+      }
+      std::abort();  // > kMaxSlots concurrent reader threads
+    }
+    return *lease.slot;
+  }
+
+  void ReclaimLocked() {
+    if (retired_.empty()) return;
+    // Pair with readers' unpin release-stores: after this fence, a slot
+    // observed idle implies its (former) reader's refcount updates are
+    // visible too.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    uint64_t min_pinned = kIdle;
+    for (size_t i = 0; i < kMaxSlots; ++i) {
+      const uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+      if (e < min_pinned) min_pinned = e;
+    }
+    size_t kept = 0;
+    for (Retired& r : retired_) {
+      const bool epoch_safe = r.retire_epoch < min_pinned;
+      const bool unreferenced =
+          r.refs == nullptr || r.refs->load(std::memory_order_acquire) == 0;
+      if (epoch_safe && unreferenced) {
+        r.deleter(r.block);
+        stats::RecordSnapshotReclaimed();
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  std::atomic<uint64_t> epoch_{0};
+  Slot slots_[kMaxSlots];
+
+  mutable std::mutex mu_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace connectit::epoch
+
+#endif  // CONNECTIT_PARALLEL_EPOCH_H_

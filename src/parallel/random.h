@@ -8,6 +8,7 @@
 #ifndef CONNECTIT_PARALLEL_RANDOM_H_
 #define CONNECTIT_PARALLEL_RANDOM_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace connectit {
@@ -46,6 +47,66 @@ class Rng {
  private:
   static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
   uint64_t seed_;
+};
+
+// Bounded Zipfian sampler over [0, n) with skew theta in (0, 1) — the
+// Gray et al. rejection-free inversion used by YCSB-style load generators.
+// Stateless like Rng: sample i of a (seed, n, theta) configuration is a
+// pure function, so open-loop client threads can partition one logical
+// request stream by index without coordination. Construction is O(n) (the
+// zeta(n, theta) prefix sum); sampling is O(1).
+//
+// Sample() returns a *rank*: 0 is the hottest key, 1 the next, and so on.
+// Serving benches usually want the hot keys scattered across the id space
+// rather than clustered at 0 — ScatteredSample() hashes the rank to a
+// stable pseudo-random position, preserving the frequency skew.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta = 0.99, uint64_t seed = 0)
+      : n_(n < 1 ? 1 : n), theta_(theta), rng_(Hash64(seed + 0x5a1fu)) {
+    zetan_ = Zeta(n_, theta_);
+    const double zeta2 = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+
+  // The i-th sample's rank in [0, n), rank 0 most frequent.
+  uint64_t Sample(uint64_t i) const {
+    const double u = rng_.GetDouble(i);
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  // The i-th sample with ranks scattered over [0, n) by a stable hash.
+  uint64_t ScatteredSample(uint64_t i) const {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Hash64(Sample(i) + 0x2545f491ull)) *
+         n_) >>
+        64);
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t k = 1; k <= n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
 };
 
 }  // namespace connectit

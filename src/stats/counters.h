@@ -84,6 +84,76 @@ inline Snapshot Read() {
   return s;
 }
 
+// ---- serving-layer counters (snapshot publication / epoch reclamation,
+// see src/parallel/epoch.h and the Connectivity façade) ----
+//
+// Unlike the algorithmic counters above these are always on: they tick
+// once per *publication* or *reclamation pass* (mutator-path events,
+// thousands per second at most), never per query, so there is no
+// measurable overhead to gate.
+
+struct ServingSnapshot {
+  uint64_t snapshot_publications = 0;  // atomic pointer swaps of a labeling
+  uint64_t epoch_advances = 0;         // grace periods opened
+  uint64_t snapshots_retired = 0;      // blocks handed to deferred reclaim
+  uint64_t snapshots_reclaimed = 0;    // blocks actually freed
+  uint64_t label_refreshes = 0;        // shared-lock-mode lazy Θ(n) refreshes
+  // Retired-but-not-freed blocks still pinned by an epoch or a held
+  // Snapshot (the deferred-reclamation backlog).
+  uint64_t reclaim_backlog() const {
+    return snapshots_retired - snapshots_reclaimed;
+  }
+};
+
+namespace internal {
+inline std::atomic<uint64_t> g_snapshot_publications{0};
+inline std::atomic<uint64_t> g_epoch_advances{0};
+inline std::atomic<uint64_t> g_snapshots_retired{0};
+inline std::atomic<uint64_t> g_snapshots_reclaimed{0};
+inline std::atomic<uint64_t> g_label_refreshes{0};
+}  // namespace internal
+
+inline void RecordSnapshotPublication() {
+  internal::g_snapshot_publications.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordEpochAdvance() {
+  internal::g_epoch_advances.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordSnapshotRetired() {
+  internal::g_snapshots_retired.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordSnapshotReclaimed() {
+  internal::g_snapshots_reclaimed.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordLabelRefresh() {
+  internal::g_label_refreshes.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline ServingSnapshot ReadServing() {
+  ServingSnapshot s;
+  s.snapshot_publications =
+      internal::g_snapshot_publications.load(std::memory_order_relaxed);
+  s.epoch_advances =
+      internal::g_epoch_advances.load(std::memory_order_relaxed);
+  s.snapshots_retired =
+      internal::g_snapshots_retired.load(std::memory_order_relaxed);
+  s.snapshots_reclaimed =
+      internal::g_snapshots_reclaimed.load(std::memory_order_relaxed);
+  s.label_refreshes =
+      internal::g_label_refreshes.load(std::memory_order_relaxed);
+  return s;
+}
+
+// For tests that assert deltas from a clean slate. Does not touch the
+// algorithmic counters above (Reset does that).
+inline void ResetServing() {
+  internal::g_snapshot_publications.store(0, std::memory_order_relaxed);
+  internal::g_epoch_advances.store(0, std::memory_order_relaxed);
+  internal::g_snapshots_retired.store(0, std::memory_order_relaxed);
+  internal::g_snapshots_reclaimed.store(0, std::memory_order_relaxed);
+  internal::g_label_refreshes.store(0, std::memory_order_relaxed);
+}
+
 // RAII: enables counters on construction and restores the previous state.
 class ScopedEnable {
  public:

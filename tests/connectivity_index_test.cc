@@ -302,6 +302,12 @@ TEST(Connectivity, ConcurrentReadsDuringIngest) {
     index.Insert(std::vector<Edge>(stream.edges.begin() + start,
                                    stream.edges.begin() + end));
   }
+  // Bounded wait for the reader to get scheduled at least once — on a
+  // single-core runner the ingest loop can finish before the reader ever
+  // runs, which is a scheduling artifact, not a serving bug.
+  for (int spin = 0; spin < 200000 && reads.load() == 0; ++spin) {
+    std::this_thread::yield();
+  }
   stop.store(true);
   reader.join();
   EXPECT_GT(reads.load(), 0u);

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_serving.json (emitted by bench/bench_serving.cc).
+
+Usage: check_bench_serving.py FILE [FILE...]
+
+Validates every file: required keys, both serving modes for every mix, all
+four canonical mixes present, numeric sanity (non-negative, percentiles
+monotone p50 <= p99 <= p999 <= max). Exits non-zero with a message on the
+first violation, so CI catches a harness regression that silently stops
+emitting a mode or a field.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = {"bench", "nodes", "readers", "mixes"}
+REQUIRED_ENTRY = {
+    "mix", "mode", "offered_ops_per_sec", "achieved_ops_per_sec", "ops",
+    "batches", "edges_ingested", "p50_us", "p99_us", "p999_us", "max_us",
+}
+EXPECTED_MIXES = {"read_mostly", "write_heavy", "bursty", "zipfian"}
+EXPECTED_MODES = {"snapshot", "shared-lock"}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+
+    missing = REQUIRED_TOP - doc.keys()
+    if missing:
+        fail(path, f"missing top-level keys: {sorted(missing)}")
+    if doc["bench"] != "serving":
+        fail(path, f'bench is {doc["bench"]!r}, expected "serving"')
+    if not isinstance(doc["nodes"], int) or doc["nodes"] <= 0:
+        fail(path, "nodes must be a positive integer")
+    if not isinstance(doc["readers"], int) or doc["readers"] <= 0:
+        fail(path, "readers must be a positive integer")
+    if not isinstance(doc["mixes"], list) or not doc["mixes"]:
+        fail(path, "mixes must be a non-empty list")
+
+    seen = set()
+    for i, entry in enumerate(doc["mixes"]):
+        where = f"mixes[{i}]"
+        missing = REQUIRED_ENTRY - entry.keys()
+        if missing:
+            fail(path, f"{where}: missing keys {sorted(missing)}")
+        if entry["mode"] not in EXPECTED_MODES:
+            fail(path, f'{where}: unknown mode {entry["mode"]!r}')
+        for key in REQUIRED_ENTRY - {"mix", "mode"}:
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(path, f"{where}: {key} must be a non-negative number")
+        if entry["ops"] == 0:
+            fail(path, f"{where}: no operations recorded")
+        if not (entry["p50_us"] <= entry["p99_us"] <= entry["p999_us"]
+                <= entry["max_us"]):
+            fail(path, f"{where}: percentiles not monotone")
+        seen.add((entry["mix"], entry["mode"]))
+
+    mixes_seen = {mix for mix, _ in seen}
+    if not EXPECTED_MIXES <= mixes_seen:
+        fail(path, f"missing mixes: {sorted(EXPECTED_MIXES - mixes_seen)}")
+    for mix in mixes_seen:
+        modes = {mode for m, mode in seen if m == mix}
+        if modes != EXPECTED_MODES:
+            fail(path, f"mix {mix!r} missing modes: "
+                       f"{sorted(EXPECTED_MODES - modes)}")
+    print(f"{path}: ok ({len(doc['mixes'])} entries)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()
