@@ -1,9 +1,9 @@
 // Serving under traffic: open-loop load against the Connectivity façade.
 //
 // Replays configurable request mixes (read-mostly, write-heavy, bursty
-// arrivals, Zipfian keys) from N client threads against one Connectivity
-// index while a writer thread applies edge batches, for both serving
-// modes:
+// arrivals, Zipfian keys, delete-heavy insert+erase churn) from N client
+// threads against one Connectivity index while a writer thread applies
+// edge batches, for both serving modes:
 //
 //   snapshot    — epoch-published immutable snapshots, wait-free reads
 //   shared-lock — the baseline: shared lock + lazy Θ(n) refresh per batch
@@ -50,6 +50,10 @@ struct MixConfig {
   bool bursty;          // square-wave arrivals (10x rate, 10% duty)
   size_t batch_size;    // writer batch size
   double batch_pause_s; // writer sleep between batches (0 = saturating)
+  // Fraction of each insert batch the writer deletes again right after
+  // inserting it (0 = insert-only). Exercises Connectivity::Erase — forest
+  // maintenance and replacement search — under concurrent readers.
+  double erase_fraction = 0;
 };
 
 struct RunConfig {
@@ -68,6 +72,7 @@ struct MixResult {
   size_t ops = 0;
   size_t batches = 0;
   size_t edges_ingested = 0;
+  size_t edges_erased = 0;
   double p50_us = 0, p99_us = 0, p999_us = 0, max_us = 0;
 };
 
@@ -136,18 +141,29 @@ MixResult RunMix(const MixConfig& mix, ServingMode mode, const RunConfig& cfg,
   for (size_t i = 0; i < cfg.warmup_ops; ++i) execute(i);
 
   // Writer: cycles the held-out tail as insert batches until readers
-  // finish, paced by the mix's batch interval.
+  // finish, paced by the mix's batch interval. A delete-heavy mix erases
+  // a slice of every batch right after inserting it (which also makes the
+  // wrap-around re-inserts meaningful: the erased edges really are gone).
   std::atomic<bool> stop{false};
   std::atomic<size_t> batches{0};
   std::atomic<size_t> edges_ingested{0};
+  std::atomic<size_t> edges_erased{0};
   std::thread writer([&] {
     size_t cursor = bulk;
     while (!stop.load(std::memory_order_relaxed)) {
       const size_t end = std::min(cursor + mix.batch_size, stream.size());
-      index.Insert(std::vector<Edge>(stream.edges.begin() + cursor,
-                                     stream.edges.begin() + end));
+      const std::vector<Edge> batch(stream.edges.begin() + cursor,
+                                    stream.edges.begin() + end);
+      index.Insert(batch);
       edges_ingested.fetch_add(end - cursor, std::memory_order_relaxed);
       batches.fetch_add(1, std::memory_order_relaxed);
+      if (mix.erase_fraction > 0 && !batch.empty()) {
+        const size_t k = std::max<size_t>(
+            1, static_cast<size_t>(batch.size() * mix.erase_fraction));
+        index.Erase(std::vector<Edge>(batch.begin(), batch.begin() + k));
+        edges_erased.fetch_add(k, std::memory_order_relaxed);
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
       cursor = end < stream.size() ? end : bulk;  // wrap: endless ingest
       if (mix.batch_pause_s > 0) {
         std::this_thread::sleep_for(
@@ -209,6 +225,7 @@ MixResult RunMix(const MixConfig& mix, ServingMode mode, const RunConfig& cfg,
   result.achieved_rate = elapsed > 0 ? merged.size() / elapsed : 0;
   result.batches = batches.load();
   result.edges_ingested = edges_ingested.load();
+  result.edges_erased = edges_erased.load();
   result.p50_us = Percentile(merged, 0.50);
   result.p99_us = Percentile(merged, 0.99);
   result.p999_us = Percentile(merged, 0.999);
@@ -235,11 +252,12 @@ void WriteJson(const char* path, const RunConfig& cfg,
         "    {\"mix\": \"%s\", \"mode\": \"%s\", "
         "\"offered_ops_per_sec\": %.1f, \"achieved_ops_per_sec\": %.1f, "
         "\"ops\": %zu, \"batches\": %zu, \"edges_ingested\": %zu, "
+        "\"edges_erased\": %zu, "
         "\"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f, "
         "\"max_us\": %.2f}%s\n",
         r.mix.c_str(), r.mode.c_str(), r.offered_rate, r.achieved_rate,
-        r.ops, r.batches, r.edges_ingested, r.p50_us, r.p99_us, r.p999_us,
-        r.max_us, i + 1 < results.size() ? "," : "");
+        r.ops, r.batches, r.edges_ingested, r.edges_erased, r.p50_us,
+        r.p99_us, r.p999_us, r.max_us, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -287,6 +305,10 @@ int main(int argc, char** argv) {
       {"write_heavy", /*zipf=*/false, /*bursty=*/false, 2 * batch, 0.0},
       {"bursty", /*zipf=*/false, /*bursty=*/true, batch, 0.005},
       {"zipfian", /*zipf=*/true, /*bursty=*/false, batch, 0.005},
+      // Fully dynamic: every insert batch is followed by an Erase of half
+      // of it, so readers race forest maintenance + replacement searches.
+      {"delete_heavy", /*zipf=*/false, /*bursty=*/false, batch, 0.0,
+       /*erase_fraction=*/0.5},
   };
 
   PrintTitle("Serving under open-loop traffic: snapshot vs shared-lock");

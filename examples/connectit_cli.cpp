@@ -5,7 +5,8 @@
 //
 // Usage:
 //   connectit_cli [--repr=<csr|compressed|coo|sharded>] [--shards=<P>]
-//                 [--stream=<B>x<S>] <edge-list-file> [variant] [sampling]
+//                 [--stream=<B>x<S>] [--erase=<E>]
+//                 <edge-list-file> [variant] [sampling]
 //   connectit_cli [--repr=...] [--stream=<B>x<S>] --generate
 //                 <rmat|grid|ba|er> <n> [variant] [sampling]
 //   connectit_cli --list
@@ -31,6 +32,12 @@
 //               variant's streaming structure, and the held-out edges are
 //               streamed through it in B batches of S. The final labeling
 //               is checked against a full static run over all edges.
+// --erase=<E> (with --stream): after the insert batches, delete the first
+//               E distinct edges of the input in one Erase batch — the
+//               fully dynamic path (spanning forest + replacement search,
+//               see src/core/dynamic_forest.h). Prints the erase counters
+//               and verifies the final labeling against a full static run
+//               over the surviving edges.
 // The variant space is identical for every representation; the registry
 // dispatches on the GraphHandle.
 //
@@ -42,7 +49,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/algo/verify.h"
@@ -71,12 +80,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage: connectit_cli [--repr=<csr|compressed|coo|sharded>] "
                "[--shards=<P>] [--stream=<batches>x<batch-size>] "
-               "<edge-list-file> [variant] [sampling]\n"
+               "[--erase=<E>] <edge-list-file> [variant] [sampling]\n"
                "       connectit_cli [--repr=...] [--stream=...] --generate "
                "<rmat|grid|ba|er> <n> [variant] [sampling]\n"
                "       connectit_cli --list\n"
                "(--compressed is an alias for --repr=compressed; --shards "
-               "defaults to hardware concurrency)\n");
+               "defaults to hardware concurrency; --erase requires "
+               "--stream)\n");
   return 2;
 }
 
@@ -87,11 +97,13 @@ double Seconds(const std::chrono::steady_clock::time_point& t0) {
 
 // --stream mode: static pass over all but the held-out tail (Build), seed
 // the variant's streaming structure with its labeling (Stream), stream the
-// tail in batches (Insert), and verify against a full static run.
+// tail in batches (Insert), optionally delete edges (--erase, the fully
+// dynamic path), and verify against a full static run over whatever edges
+// survive.
 int RunStreamMode(GraphRepresentation repr, size_t num_shards,
                   const EdgeList& all, const Connectivity::Spec& spec,
                   const std::string& sampling_name, size_t num_batches,
-                  size_t batch_size) {
+                  size_t batch_size, size_t num_erase) {
   const stats::ServingSnapshot serving_before = stats::ReadServing();
   Connectivity index(spec);
   if (!index.variant().supports_streaming) {
@@ -168,6 +180,40 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
   std::printf("streamed %zu batches: %.4f s (%.2e updates/s)\n", batches_run,
               stream_seconds,
               static_cast<double>(held) / std::max(stream_seconds, 1e-12));
+
+  // --erase: delete the first num_erase distinct edges of the input in one
+  // batch. The pick is deterministic so runs are reproducible; the erased
+  // set is remembered for the verification below.
+  std::set<std::pair<NodeId, NodeId>> erased_keys;
+  if (num_erase > 0) {
+    std::vector<Edge> erase_batch;
+    for (const Edge& e : all.edges) {
+      if (erase_batch.size() >= num_erase) break;
+      if (e.u == e.v) continue;
+      const std::pair<NodeId, NodeId> key = std::minmax(e.u, e.v);
+      if (erased_keys.insert(key).second) erase_batch.push_back(e);
+    }
+    const stats::ServingSnapshot s0 = stats::ReadServing();
+    t0 = std::chrono::steady_clock::now();
+    index.Erase(erase_batch);
+    const double erase_seconds = Seconds(t0);
+    const stats::ServingSnapshot s1 = stats::ReadServing();
+    std::printf(
+        "erased %zu edges in %.4f s (%.2e deletions/s): "
+        "%llu removed, %llu misses, %llu forest-edge hits, "
+        "%llu replacement searches, %llu components split\n",
+        erase_batch.size(), erase_seconds,
+        static_cast<double>(erase_batch.size()) /
+            std::max(erase_seconds, 1e-12),
+        static_cast<unsigned long long>(s1.edges_erased - s0.edges_erased),
+        static_cast<unsigned long long>(s1.erase_misses - s0.erase_misses),
+        static_cast<unsigned long long>(s1.forest_edge_hits -
+                                        s0.forest_edge_hits),
+        static_cast<unsigned long long>(s1.replacement_searches -
+                                        s0.replacement_searches),
+        static_cast<unsigned long long>(s1.components_split -
+                                        s0.components_split));
+  }
   if (repr == GraphRepresentation::kCoo) {
     // Edge-centric variants with sampling=none stay COO-native end to end.
     std::printf("csr materializations: %llu\n",
@@ -208,13 +254,28 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
   }
 
   // The handoff invariant: seeded streaming over the tail must land on the
-  // same partition as the static pass over the whole edge set.
+  // same partition as a static pass over the whole edge set — minus the
+  // erased edges, when --erase ran (every duplicate of an erased edge is
+  // the same adjacency, so all copies are dropped).
   const std::vector<NodeId> streamed = CanonicalizeLabels(index.Labels());
   Connectivity full_index(spec);
-  const std::vector<NodeId> full =
-      CanonicalizeLabels(full_index.Build(full_handle).Labels());
+  std::vector<NodeId> full;
+  if (erased_keys.empty()) {
+    full = CanonicalizeLabels(full_index.Build(full_handle).Labels());
+  } else {
+    EdgeList survivors;
+    survivors.num_nodes = all.num_nodes;
+    for (const Edge& e : all.edges) {
+      const std::pair<NodeId, NodeId> key = std::minmax(e.u, e.v);
+      if (e.u != e.v && erased_keys.count(key) > 0) continue;
+      survivors.edges.push_back(e);
+    }
+    full = CanonicalizeLabels(
+        full_index.Build(GraphHandle(survivors)).Labels());
+  }
   const bool identical = (streamed == full);
-  std::printf("labeling identical to full static run: %s\n",
+  std::printf("labeling identical to full static run%s: %s\n",
+              erased_keys.empty() ? "" : " over surviving edges",
               identical ? "yes" : "NO");
   std::printf("components: %u\n", CountComponents(streamed));
   return identical ? 0 : 1;
@@ -229,6 +290,7 @@ int main(int argc, char** argv) {
   size_t num_shards = 0;  // 0 = ShardedGraph's default (hardware concurrency)
   size_t stream_batches = 0;
   size_t stream_batch_size = 0;
+  size_t num_erase = 0;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compressed") == 0 ||
@@ -252,6 +314,16 @@ int main(int argc, char** argv) {
         return Usage();
       }
       num_shards = static_cast<size_t>(value);
+    } else if (std::strncmp(argv[i], "--erase=", 8) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i] + 8, &end, 10);
+      if (end == argv[i] + 8 || *end != '\0' || value <= 0) {
+        std::fprintf(stderr,
+                     "error: --erase expects a positive edge count, got %s\n",
+                     argv[i] + 8);
+        return Usage();
+      }
+      num_erase = static_cast<size_t>(value);
     } else if (std::strncmp(argv[i], "--stream=", 9) == 0) {
       if (std::sscanf(argv[i] + 9, "%zux%zu", &stream_batches,
                       &stream_batch_size) != 2 ||
@@ -327,9 +399,13 @@ int main(int argc, char** argv) {
                                       .Algorithm(variant_name)
                                       .Sampling(ParseSampling(sampling_name));
 
+  if (num_erase > 0 && stream_batches == 0) {
+    std::fprintf(stderr, "error: --erase requires --stream\n");
+    return Usage();
+  }
   if (stream_batches > 0) {
     return RunStreamMode(repr, num_shards, edges, spec, sampling_name,
-                         stream_batches, stream_batch_size);
+                         stream_batches, stream_batch_size, num_erase);
   }
 
   GraphHandle handle;

@@ -1,0 +1,77 @@
+// Parallel replacement-edge search for batch deletions.
+//
+// When a batch of erases removes spanning-forest edges, the affected
+// components may splinter; any surviving non-forest edge between two
+// pieces is a *replacement* that keeps them connected. Rather than probe
+// edge-by-edge, the search re-runs a parallel BFS over the affected region
+// (the union of the old components that lost a forest edge): every BFS
+// tree found is the piece's new spanning tree, and its tree edges are the
+// replacements. Because a component is maximal under the current
+// adjacency, the BFS can never leak outside the affected region, so one
+// shared parents array serves every piece.
+//
+// Generic over the adjacency representation exactly like src/algo/bfs.h
+// (num_nodes / num_arcs / degree / MapNeighbors / MapNeighborsWhile); the
+// frontier expansion reuses the same CAS-claiming PushStep kernel.
+
+#ifndef CONNECTIT_ALGO_REPLACEMENT_H_
+#define CONNECTIT_ALGO_REPLACEMENT_H_
+
+#include <vector>
+
+#include "src/algo/bfs.h"
+#include "src/graph/types.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+struct ReplacementResult {
+  // The new spanning-tree edges of every piece of the affected region
+  // (one BFS tree per piece; each edge is (parent, child)).
+  std::vector<Edge> forest_edges;
+  // Number of connected pieces the region decomposed into. Equal to the
+  // number of affected components iff every deleted forest edge had a
+  // surviving replacement (no component split).
+  uint64_t pieces = 0;
+};
+
+// Recomputes connectivity of the affected region and relabels it in
+// place. `region` must list the region's vertices in ascending order and
+// be closed under adjacency (a union of whole components of `graph`);
+// `labels` is the full labeling, updated only at region vertices. Each
+// piece is labeled by its minimum vertex id, so a component that stays
+// connected keeps its canonical (min-rooted) label bit-for-bit — a
+// deletion with a surviving replacement changes no query answer.
+template <typename GraphT>
+ReplacementResult ReplacementSearch(const GraphT& graph,
+                                    const std::vector<NodeId>& region,
+                                    std::vector<NodeId>& labels) {
+  ReplacementResult result;
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> parents(n);
+  ParallelFor(0, n, [&](size_t v) { parents[v] = kInvalidNode; });
+
+  for (const NodeId root : region) {
+    if (parents[root] != kInvalidNode) continue;  // already in a found piece
+    ++result.pieces;
+    parents[root] = root;
+    // Ascending iteration makes `root` the minimum of its piece: every
+    // smaller region vertex was already claimed by an earlier BFS.
+    std::vector<NodeId> piece = {root};
+    std::vector<NodeId> frontier = {root};
+    while (!frontier.empty()) {
+      frontier = internal_bfs::PushStep(graph, frontier, parents);
+      for (const NodeId x : frontier) {
+        result.forest_edges.push_back({parents[x], x});
+        piece.push_back(x);
+      }
+    }
+    ParallelFor(0, piece.size(),
+                [&](size_t i) { labels[piece[i]] = root; });
+  }
+  return result;
+}
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_ALGO_REPLACEMENT_H_

@@ -1,5 +1,6 @@
 #include "src/baselines/stinger_cc.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/parallel/thread_pool.h"
@@ -48,6 +49,36 @@ void StingerGraph::InsertArc(NodeId u, NodeId v) {
   locks_[u].store(0, std::memory_order_release);
 }
 
+bool StingerGraph::RemoveArc(NodeId u, NodeId v) {
+  while (locks_[u].exchange(1, std::memory_order_acquire) != 0) {
+  }
+  Block* hole_block = nullptr;
+  uint32_t hole_idx = 0;
+  for (Block* b = heads_[u]; b != nullptr && hole_block == nullptr;
+       b = b->next) {
+    for (uint32_t i = 0; i < b->count; ++i) {
+      if (b->entries[i] == v) {
+        hole_block = b;
+        hole_idx = i;
+        break;
+      }
+    }
+  }
+  if (hole_block == nullptr) {
+    locks_[u].store(0, std::memory_order_release);
+    return false;
+  }
+  // Fill the hole with the chain's last entry (possibly itself). Emptied
+  // blocks stay in the chain for reuse, as in STINGER.
+  Block* tail = heads_[u];
+  while (tail->next != nullptr && tail->next->count > 0) tail = tail->next;
+  hole_block->entries[hole_idx] = tail->entries[tail->count - 1];
+  --tail->count;
+  arcs_.fetch_sub(1, std::memory_order_relaxed);
+  locks_[u].store(0, std::memory_order_release);
+  return true;
+}
+
 StingerStreamingCC::StingerStreamingCC(NodeId num_nodes)
     : graph_(num_nodes), labels_(num_nodes) {
   for (NodeId v = 0; v < num_nodes; ++v) labels_[v] = v;
@@ -70,6 +101,62 @@ double StingerStreamingCC::InsertBatch(const std::vector<Edge>& batch) {
     ParallelFor(0, labels_.size(), [&](size_t v) {
       if (labels_[v] == loser) labels_[v] = winner;
     });
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double StingerStreamingCC::EraseBatch(const std::vector<Edge>& batch) {
+  // Adjacency maintenance (not counted, matching InsertBatch).
+  ParallelFor(0, batch.size(), [&](size_t i) {
+    graph_.RemoveArc(batch[i].u, batch[i].v);
+    graph_.RemoveArc(batch[i].v, batch[i].u);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  // Label maintenance: a deletion between differently-labeled vertices is
+  // free; one inside a component BFSes the endpoint's side to test for a
+  // split, and a split relabels both sides by one parallel sweep.
+  std::vector<uint8_t> side(labels_.size(), 0);
+  std::vector<NodeId> stack;
+  std::vector<NodeId> reached;
+  for (const Edge& e : batch) {
+    if (e.u == e.v || labels_[e.u] != labels_[e.v]) continue;
+    const NodeId old_label = labels_[e.u];
+    stack.assign(1, e.u);
+    reached.assign(1, e.u);
+    side[e.u] = 1;
+    bool connected = false;
+    while (!stack.empty() && !connected) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      graph_.MapNeighbors(x, [&](NodeId y) {
+        if (y == e.v) connected = true;
+        if (side[y] == 0 && labels_[y] == old_label) {
+          side[y] = 1;
+          reached.push_back(y);
+          stack.push_back(y);
+        }
+      });
+    }
+    if (!connected) {
+      // Split: each part takes its minimum vertex id as the new label
+      // (preserving the labels-are-minima invariant of the merge path).
+      NodeId min_u_side = reached[0];
+      for (const NodeId r : reached) min_u_side = std::min(min_u_side, r);
+      NodeId min_v_side = kInvalidNode;
+      for (NodeId v = 0; v < static_cast<NodeId>(labels_.size()); ++v) {
+        if (labels_[v] == old_label && side[v] == 0) {
+          min_v_side = v;
+          break;
+        }
+      }
+      ParallelFor(0, labels_.size(), [&](size_t v) {
+        if (labels_[v] == old_label) {
+          labels_[v] = side[v] != 0 ? min_u_side : min_v_side;
+        }
+      });
+    }
+    for (const NodeId r : reached) side[r] = 0;
   }
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();

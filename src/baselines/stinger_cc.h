@@ -37,6 +37,11 @@ class StingerGraph {
   // Inserts the directed arc u -> v (walks u's block chain under u's lock).
   void InsertArc(NodeId u, NodeId v);
 
+  // Removes one copy of the directed arc u -> v (swap-remove with the
+  // chain's last entry, the STINGER deletion-hole discipline). Returns
+  // false if the arc is not present.
+  bool RemoveArc(NodeId u, NodeId v);
+
   NodeId num_nodes() const { return num_nodes_; }
   EdgeId num_arcs() const;
 
@@ -66,6 +71,13 @@ class StingerStreamingCC {
   // time spent updating the labeling only (seconds), excluding adjacency
   // maintenance, matching the paper's measurement protocol.
   double InsertBatch(const std::vector<Edge>& batch);
+
+  // Deletes a batch of undirected edges, maintaining labels in the McColl
+  // style: each deletion inside a component triggers a BFS over the
+  // component to test whether it split, and a split pays one parallel
+  // O(n) relabeling sweep — the deletion-side mirror of the per-merge
+  // sweep above. Returns the label-maintenance time only (seconds).
+  double EraseBatch(const std::vector<Edge>& batch);
 
   const std::vector<NodeId>& labels() const { return labels_; }
   StingerGraph& graph() { return graph_; }

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "src/core/components.h"
+#include "src/core/dynamic_forest.h"
 #include "src/graph/builder.h"
 #include "src/parallel/epoch.h"
+#include "src/parallel/thread_pool.h"
 
 namespace connectit {
 
@@ -206,12 +208,15 @@ Connectivity::Connectivity(Connectivity&& other) noexcept {
   labels_stale_ = other.labels_stale_;
   built_ = other.built_;
   streaming_ = std::move(other.streaming_);
+  forest_ = std::move(other.forest_);
+  insert_journal_ = std::move(other.insert_journal_);
   snapshot_.store(other.snapshot_.exchange(nullptr),
                   std::memory_order_release);
   publish_seq_ = other.publish_seq_;
   other.built_ = false;
   other.labels_stale_ = false;
   other.labels_.clear();
+  other.insert_journal_.clear();
   other.graph_ = GraphHandle();
   // The moved-from index reverts to un-built but must keep serving (its
   // spec stays usable): republish an empty labeling.
@@ -229,12 +234,15 @@ Connectivity& Connectivity::operator=(Connectivity&& other) noexcept {
     labels_stale_ = other.labels_stale_;
     built_ = other.built_;
     streaming_ = std::move(other.streaming_);
+    forest_ = std::move(other.forest_);
+    insert_journal_ = std::move(other.insert_journal_);
     snapshot_.store(other.snapshot_.exchange(nullptr),
                     std::memory_order_release);
     publish_seq_ = other.publish_seq_;
     other.built_ = false;
     other.labels_stale_ = false;
     other.labels_.clear();
+    other.insert_journal_.clear();
     other.graph_ = GraphHandle();
     if (other.snapshot_serving()) other.PublishLocked({});
   }
@@ -275,6 +283,8 @@ Connectivity& Connectivity::Build(const GraphHandle& graph) {
   labels_stale_ = false;
   built_ = true;
   streaming_.reset();
+  forest_.reset();
+  insert_journal_.clear();
   if (snapshot_serving()) PublishLocked(labels_);
   return *this;
 }
@@ -316,6 +326,8 @@ Connectivity& Connectivity::Stream(NodeId num_nodes) {
   labels_stale_ = true;
   graph_ = GraphHandle();
   built_ = false;  // no static graph behind this state
+  forest_.reset();
+  insert_journal_.clear();
   if (snapshot_serving()) PublishLocked(streaming_->Labels());
   return *this;
 }
@@ -332,6 +344,15 @@ std::vector<uint8_t> Connectivity::Insert(const std::vector<Edge>& updates,
     DieF("Connectivity::Insert requires Stream() first");
   }
   std::vector<uint8_t> results = streaming_->ProcessBatch(updates, queries);
+  // Keep the deletion layer in step: an armed forest absorbs the batch
+  // directly; before the first Erase the journal records it for the
+  // arming replay (see ArmForestLocked).
+  if (forest_ != nullptr) {
+    forest_->InsertBatch(updates);
+  } else {
+    insert_journal_.insert(insert_journal_.end(), updates.begin(),
+                           updates.end());
+  }
   if (snapshot_serving()) {
     // Publish the post-batch labeling: Θ(n) on the mutator so every read
     // stays O(1) and wait-free. Readers switch labelings at the pointer
@@ -339,6 +360,57 @@ std::vector<uint8_t> Connectivity::Insert(const std::vector<Edge>& updates,
     PublishLocked(streaming_->Labels());
   }
   // Mutator-side staging refreshes lazily (shared-lock reads, re-Stream).
+  labels_stale_ = true;
+  return results;
+}
+
+void Connectivity::ArmForestLocked() {
+  forest_ = std::make_unique<DynamicForest>(streaming_->num_nodes());
+  if (built_) {
+    // Seed from the built graph through the variant's own spanning-forest
+    // pass (every streaming-capable variant is root-based, so run_forest
+    // is always available here). Representation-native like Build: a COO
+    // handle seeds without materializing a CSR, a sharded one without
+    // flattening.
+    forest_->AdoptGraph(graph_,
+                        variant_->run_forest(graph_, spec_.sampling()));
+  }
+  if (!insert_journal_.empty()) {
+    forest_->InsertBatch(insert_journal_);
+    insert_journal_.clear();
+    insert_journal_.shrink_to_fit();
+  }
+}
+
+std::vector<uint8_t> Connectivity::Erase(const std::vector<Edge>& updates,
+                                         const std::vector<Edge>& queries) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (streaming_ == nullptr) {
+    DieF("Connectivity::Erase requires Stream() first");
+  }
+  if (forest_ == nullptr) ArmForestLocked();
+  const DynamicForest::EraseStats batch = forest_->EraseBatch(updates);
+  stats::RecordEraseBatch(batch.erased, batch.misses, batch.forest_hits,
+                          batch.replacement_searches,
+                          batch.components_split);
+  if (batch.labels_changed) {
+    // A component actually split: the insertion-only streaming structure
+    // cannot represent that, so reseed it from the forest's canonical
+    // labeling (the same FromLabels seam Stream() uses). Deletions whose
+    // replacement search succeeded change no labels and skip this.
+    streaming_ =
+        variant_->make_streaming(StreamingSeed::FromLabels(forest_->Labels()));
+  }
+  std::vector<uint8_t> results(queries.size());
+  const std::vector<NodeId>& labels = forest_->Labels();
+  ParallelFor(0, queries.size(), [&](size_t i) {
+    results[i] = labels[queries[i].u] == labels[queries[i].v] ? 1 : 0;
+  });
+  if (snapshot_serving()) {
+    // Same discipline as Insert: the post-batch labeling is published
+    // before Erase returns, so no reader ever sees a half-applied batch.
+    PublishLocked(streaming_->Labels());
+  }
   labels_stale_ = true;
   return results;
 }

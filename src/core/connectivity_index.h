@@ -74,6 +74,8 @@
 
 namespace connectit {
 
+class DynamicForest;
+
 // How the read methods are served. kSnapshot is the default; kSharedLock
 // is kept as the measured baseline (see the header comment).
 enum class ServingMode : uint8_t { kSnapshot, kSharedLock };
@@ -266,6 +268,25 @@ class Connectivity {
   std::vector<uint8_t> Insert(const std::vector<Edge>& updates,
                               const std::vector<Edge>& queries = {});
 
+  // Applies one batch of edge *deletions* and answers the batched
+  // connectivity queries against the post-batch labeling. Requires
+  // Stream() first, like Insert.
+  //
+  // Deletions ride on a dynamic spanning forest (src/core/dynamic_forest.h)
+  // armed lazily on the first Erase: the variant's own run_forest pass
+  // seeds the forest from the built graph, and every edge inserted since
+  // Stream() is replayed from a journal the façade keeps. A deleted
+  // non-forest edge is free; a deleted forest edge triggers a parallel
+  // replacement-edge search over the affected component
+  // (src/algo/replacement.h). Only when a component actually splits is
+  // the insertion-only streaming structure reseeded
+  // (StreamingSeed::FromLabels) — a deletion with a surviving replacement
+  // changes no labels and no query answer. Erase publishes a fresh
+  // Snapshot under kSnapshot serving, exactly like Insert, and ticks the
+  // erase counters in stats::ReadServing().
+  std::vector<uint8_t> Erase(const std::vector<Edge>& updates,
+                             const std::vector<Edge>& queries = {});
+
   // Spanning forest of the built graph via the variant's run_forest (paper
   // Algorithm 2). Requires Build and a root-based variant (dies
   // otherwise).
@@ -298,6 +319,11 @@ class Connectivity {
 
  private:
   void CheckBuilt(const char* op) const;
+
+  // First-Erase arming: seeds forest_ from the built graph via the
+  // variant's run_forest, then replays insert_journal_. Callers hold mu_
+  // exclusively.
+  void ArmForestLocked();
 
   // Builds a SnapshotData (sizes + component count precomputed) from a
   // fully compressed labeling and swaps it in as the published snapshot;
@@ -348,6 +374,15 @@ class Connectivity {
   mutable bool labels_stale_ = false;
   bool built_ = false;
   std::unique_ptr<StreamingConnectivity> streaming_;
+
+  // Batch-deletion state. forest_ arms on the first Erase (null until
+  // then — pure insert workloads never pay for it); insert_journal_
+  // records every edge Insert applied since the last Build/Stream so the
+  // arming pass sees the full current edge set, and drains into forest_
+  // when it arms. Re-Stream() keeps both (the edge set is unchanged);
+  // Build and cold Stream(n) reset them.
+  std::unique_ptr<DynamicForest> forest_;
+  std::vector<Edge> insert_journal_;
 
   // kSnapshot serving: the published labeling. Never null in that mode
   // (an empty snapshot is published at construction); always null under

@@ -1,0 +1,159 @@
+#include "src/core/dynamic_forest.h"
+
+#include <algorithm>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "src/algo/replacement.h"
+#include "src/algo/verify.h"
+#include "src/parallel/thread_pool.h"
+
+namespace connectit {
+
+DynamicForest::DynamicForest(NodeId n) : adj_(n), labels_(n) {
+  ParallelFor(0, n, [&](size_t v) { labels_[v] = static_cast<NodeId>(v); });
+}
+
+void DynamicForest::AdoptGraph(const GraphHandle& graph,
+                               const SpanningForestResult& forest) {
+  const NodeId n = num_nodes();
+  graph.Visit([&](const auto& g) {
+    using G = std::decay_t<decltype(g)>;
+    if constexpr (std::is_same_v<G, EdgeList>) {
+      // COO stays native: the raw edge list may carry duplicates and
+      // self-loops, which AddEdge drops — matching what BuildGraph's
+      // symmetrize/dedup would have produced.
+      for (const Edge& e : g.edges) AddEdge(e.u, e.v);
+    } else {
+      // Adjacency representations (CSR, compressed, sharded) store each
+      // undirected edge in both directions and are already deduplicated;
+      // the u < v filter takes each once. Per-vertex lists fill in
+      // parallel, then the key set is built in one sequential pass.
+      ParallelFor(0, n, [&](size_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        g.MapNeighbors(u, [&](NodeId v) {
+          if (u != v) adj_[u].push_back(v);
+        });
+      });
+      for (NodeId u = 0; u < n; ++u) {
+        for (const NodeId v : adj_[u]) {
+          if (u < v) edges_.insert(Key(u, v));
+        }
+        num_arcs_ += static_cast<EdgeId>(adj_[u].size());
+      }
+    }
+  });
+  for (const Edge& e : forest.edges) forest_.insert(Key(e.u, e.v));
+  labels_ = CanonicalizeLabels(forest.labels);
+}
+
+bool DynamicForest::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return false;
+  if (!edges_.insert(Key(u, v)).second) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  num_arcs_ += 2;
+  return true;
+}
+
+void DynamicForest::RemoveArc(NodeId u, NodeId v) {
+  std::vector<NodeId>& nbrs = adj_[u];
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) {
+      nbrs[i] = nbrs.back();
+      nbrs.pop_back();
+      return;
+    }
+  }
+}
+
+void DynamicForest::InsertBatch(const std::vector<Edge>& updates) {
+  // Union the touched components over their canonical labels. The sparse
+  // parent map keeps the no-merge case O(batch): labels_ roots are
+  // component minima, and every union links the larger root under the
+  // smaller, so the labeling stays canonical.
+  std::unordered_map<NodeId, NodeId> parent;
+  const auto find = [&](NodeId vertex) {
+    NodeId x = labels_[vertex];
+    while (true) {
+      const auto it = parent.find(x);
+      if (it == parent.end() || it->second == x) return x;
+      x = it->second;
+    }
+  };
+  bool merged = false;
+  for (const Edge& e : updates) {
+    if (!AddEdge(e.u, e.v)) continue;
+    const NodeId ru = find(e.u);
+    const NodeId rv = find(e.v);
+    if (ru == rv) continue;
+    forest_.insert(Key(e.u, e.v));
+    parent[std::max(ru, rv)] = std::min(ru, rv);
+    merged = true;
+  }
+  if (!merged) return;
+  ParallelFor(0, labels_.size(), [&](size_t v) {
+    NodeId x = labels_[v];
+    while (true) {
+      const auto it = parent.find(x);  // concurrent reads only: safe
+      if (it == parent.end() || it->second == x) break;
+      x = it->second;
+    }
+    labels_[v] = x;
+  });
+}
+
+DynamicForest::EraseStats DynamicForest::EraseBatch(
+    const std::vector<Edge>& updates) {
+  EraseStats stats;
+  const NodeId n = num_nodes();
+  std::unordered_set<NodeId> affected;  // old labels of components that
+                                        // lost a forest edge
+  for (const Edge& e : updates) {
+    if (e.u == e.v || e.u >= n || e.v >= n) {
+      ++stats.misses;
+      continue;
+    }
+    const uint64_t key = Key(e.u, e.v);
+    if (edges_.erase(key) == 0) {
+      ++stats.misses;
+      continue;
+    }
+    RemoveArc(e.u, e.v);
+    RemoveArc(e.v, e.u);
+    num_arcs_ -= 2;
+    ++stats.erased;
+    if (forest_.erase(key) > 0) {
+      ++stats.forest_hits;
+      affected.insert(labels_[e.u]);
+    }
+  }
+  if (affected.empty()) return stats;
+  stats.replacement_searches = affected.size();
+
+  // The replacement search rebuilds each affected component's tree
+  // wholesale, so its surviving forest edges go first (labels_ still
+  // holds the pre-batch labeling here — the search relabels below).
+  for (auto it = forest_.begin(); it != forest_.end();) {
+    if (affected.count(labels_[KeyLo(*it)]) > 0) {
+      it = forest_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Gather the affected region in ascending vertex order (the search's
+  // min-root invariant).
+  std::vector<NodeId> region;
+  for (NodeId v = 0; v < n; ++v) {
+    if (affected.count(labels_[v]) > 0) region.push_back(v);
+  }
+  ReplacementResult found = ReplacementSearch(View(), region, labels_);
+  for (const Edge& e : found.forest_edges) forest_.insert(Key(e.u, e.v));
+
+  stats.components_split = found.pieces - stats.replacement_searches;
+  stats.labels_changed = stats.components_split > 0;
+  return stats;
+}
+
+}  // namespace connectit

@@ -1,0 +1,136 @@
+// Dynamic spanning forest for batch deletions (the Erase backbone).
+//
+// The streaming union-find structures (streaming.h) are insertion-only:
+// a union can never be undone, so deletions need a second structure that
+// remembers *which* edges carry the connectivity. DynamicForest keeps,
+// alongside the streaming labeling:
+//   - the current edge multigraph as per-vertex adjacency (deduplicated;
+//     self-loops are dropped, they never affect connectivity),
+//   - the subset of edges forming a spanning forest (seeded from the
+//     variant's own run_forest pass, then maintained incrementally), and
+//   - a canonical labeling (label = minimum vertex id of the component).
+//
+// Deleting a non-forest edge is free — the forest still spans. Deleting a
+// forest edge marks the component *affected*; after the batch one
+// parallel replacement-edge search (src/algo/replacement.h) recomputes
+// the affected region's pieces, rebuilds their trees, and relabels. A
+// deletion with a surviving replacement therefore leaves the labeling
+// bit-for-bit unchanged.
+//
+// Not thread-safe: the Connectivity façade serializes mutations under its
+// exclusive lock, exactly as it does for Insert.
+
+#ifndef CONNECTIT_CORE_DYNAMIC_FOREST_H_
+#define CONNECTIT_CORE_DYNAMIC_FOREST_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/connectit.h"
+#include "src/graph/graph_handle.h"
+#include "src/graph/types.h"
+
+namespace connectit {
+
+class DynamicForest {
+ public:
+  // What one EraseBatch did, for the serving counters and the reseed
+  // decision in Connectivity::Erase.
+  struct EraseStats {
+    uint64_t erased = 0;       // edges actually removed
+    uint64_t misses = 0;       // absent edges and self-loops (no-ops)
+    uint64_t forest_hits = 0;  // removed edges that were forest edges
+    // Affected components searched for replacements (one search covers
+    // every forest hit within a component).
+    uint64_t replacement_searches = 0;
+    // Extra pieces the affected components split into (0 = every deleted
+    // forest edge had a surviving replacement).
+    uint64_t components_split = 0;
+    // True iff the partition changed (components_split > 0), i.e. the
+    // streaming structure must be reseeded from Labels().
+    bool labels_changed = false;
+  };
+
+  // n isolated vertices, no edges (the cold-start shape).
+  explicit DynamicForest(NodeId n);
+
+  // Adopts a built graph's adjacency plus the spanning forest its variant
+  // computed (run_forest output: labels + forest edges). The labels are
+  // canonicalized to min-rooted form. Call at most once, before any
+  // Insert/Erase batch.
+  void AdoptGraph(const GraphHandle& graph,
+                  const SpanningForestResult& forest);
+
+  // Applies edge insertions: new edges join the adjacency; an edge that
+  // merges two components becomes a forest edge and the smaller canonical
+  // label wins (labels stay min-rooted). Duplicates and self-loops are
+  // no-ops, mirroring their effect on the streaming union-find.
+  void InsertBatch(const std::vector<Edge>& updates);
+
+  // Applies edge deletions; see the header comment for the algorithm.
+  EraseStats EraseBatch(const std::vector<Edge>& updates);
+
+  bool HasEdge(NodeId u, NodeId v) const {
+    return u != v && edges_.count(Key(u, v)) > 0;
+  }
+  bool SameComponent(NodeId u, NodeId v) const {
+    return labels_[u] == labels_[v];
+  }
+  // The canonical labeling (label = min vertex id of the component) —
+  // always a valid StreamingSeed::FromLabels input.
+  const std::vector<NodeId>& Labels() const { return labels_; }
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_forest_edges() const { return forest_.size(); }
+
+  // Adjacency view satisfying the BFS GraphT concept (bfs.h), handed to
+  // the replacement search.
+  class AdjacencyView {
+   public:
+    explicit AdjacencyView(const DynamicForest* f) : f_(f) {}
+    NodeId num_nodes() const { return f_->num_nodes(); }
+    EdgeId num_arcs() const { return f_->num_arcs_; }
+    EdgeId degree(NodeId v) const {
+      return static_cast<EdgeId>(f_->adj_[v].size());
+    }
+    template <typename F>
+    void MapNeighbors(NodeId u, F&& fn) const {
+      for (const NodeId v : f_->adj_[u]) fn(v);
+    }
+    template <typename F>
+    void MapNeighborsWhile(NodeId u, F&& fn) const {
+      for (const NodeId v : f_->adj_[u]) {
+        if (!fn(v)) return;
+      }
+    }
+
+   private:
+    const DynamicForest* f_;
+  };
+  AdjacencyView View() const { return AdjacencyView(this); }
+
+ private:
+  // Canonical (order-independent) 64-bit key of an undirected edge.
+  static uint64_t Key(NodeId u, NodeId v) {
+    const NodeId lo = u < v ? u : v;
+    const NodeId hi = u < v ? v : u;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+  static NodeId KeyLo(uint64_t key) { return static_cast<NodeId>(key >> 32); }
+
+  // Inserts (u, v) into the adjacency; false for self-loops/duplicates.
+  bool AddEdge(NodeId u, NodeId v);
+  void RemoveArc(NodeId u, NodeId v);
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::unordered_set<uint64_t> edges_;   // every present edge, canonical key
+  std::unordered_set<uint64_t> forest_;  // the spanning subset of edges_
+  std::vector<NodeId> labels_;           // canonical min-rooted labeling
+  EdgeId num_arcs_ = 0;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_CORE_DYNAMIC_FOREST_H_

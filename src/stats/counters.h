@@ -98,6 +98,13 @@ struct ServingSnapshot {
   uint64_t snapshots_retired = 0;      // blocks handed to deferred reclaim
   uint64_t snapshots_reclaimed = 0;    // blocks actually freed
   uint64_t label_refreshes = 0;        // shared-lock-mode lazy Θ(n) refreshes
+  // ---- batch-deletion path (Connectivity::Erase / DynamicForest) ----
+  uint64_t erase_batches = 0;          // Erase calls applied
+  uint64_t edges_erased = 0;           // edges actually removed
+  uint64_t erase_misses = 0;           // absent-edge / self-loop no-ops
+  uint64_t forest_edge_hits = 0;       // deleted edges that were forest edges
+  uint64_t replacement_searches = 0;   // affected components searched
+  uint64_t components_split = 0;       // splits (no surviving replacement)
   // Retired-but-not-freed blocks still pinned by an epoch or a held
   // Snapshot (the deferred-reclamation backlog).
   uint64_t reclaim_backlog() const {
@@ -111,6 +118,12 @@ inline std::atomic<uint64_t> g_epoch_advances{0};
 inline std::atomic<uint64_t> g_snapshots_retired{0};
 inline std::atomic<uint64_t> g_snapshots_reclaimed{0};
 inline std::atomic<uint64_t> g_label_refreshes{0};
+inline std::atomic<uint64_t> g_erase_batches{0};
+inline std::atomic<uint64_t> g_edges_erased{0};
+inline std::atomic<uint64_t> g_erase_misses{0};
+inline std::atomic<uint64_t> g_forest_edge_hits{0};
+inline std::atomic<uint64_t> g_replacement_searches{0};
+inline std::atomic<uint64_t> g_components_split{0};
 }  // namespace internal
 
 inline void RecordSnapshotPublication() {
@@ -128,6 +141,22 @@ inline void RecordSnapshotReclaimed() {
 inline void RecordLabelRefresh() {
   internal::g_label_refreshes.fetch_add(1, std::memory_order_relaxed);
 }
+// One call per applied Erase batch, with that batch's deletion tallies
+// (see DynamicForest::EraseStats for the field semantics).
+inline void RecordEraseBatch(uint64_t erased, uint64_t misses,
+                             uint64_t forest_hits,
+                             uint64_t replacement_searches,
+                             uint64_t components_split) {
+  internal::g_erase_batches.fetch_add(1, std::memory_order_relaxed);
+  internal::g_edges_erased.fetch_add(erased, std::memory_order_relaxed);
+  internal::g_erase_misses.fetch_add(misses, std::memory_order_relaxed);
+  internal::g_forest_edge_hits.fetch_add(forest_hits,
+                                         std::memory_order_relaxed);
+  internal::g_replacement_searches.fetch_add(replacement_searches,
+                                             std::memory_order_relaxed);
+  internal::g_components_split.fetch_add(components_split,
+                                         std::memory_order_relaxed);
+}
 
 inline ServingSnapshot ReadServing() {
   ServingSnapshot s;
@@ -141,6 +170,15 @@ inline ServingSnapshot ReadServing() {
       internal::g_snapshots_reclaimed.load(std::memory_order_relaxed);
   s.label_refreshes =
       internal::g_label_refreshes.load(std::memory_order_relaxed);
+  s.erase_batches = internal::g_erase_batches.load(std::memory_order_relaxed);
+  s.edges_erased = internal::g_edges_erased.load(std::memory_order_relaxed);
+  s.erase_misses = internal::g_erase_misses.load(std::memory_order_relaxed);
+  s.forest_edge_hits =
+      internal::g_forest_edge_hits.load(std::memory_order_relaxed);
+  s.replacement_searches =
+      internal::g_replacement_searches.load(std::memory_order_relaxed);
+  s.components_split =
+      internal::g_components_split.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -152,6 +190,12 @@ inline void ResetServing() {
   internal::g_snapshots_retired.store(0, std::memory_order_relaxed);
   internal::g_snapshots_reclaimed.store(0, std::memory_order_relaxed);
   internal::g_label_refreshes.store(0, std::memory_order_relaxed);
+  internal::g_erase_batches.store(0, std::memory_order_relaxed);
+  internal::g_edges_erased.store(0, std::memory_order_relaxed);
+  internal::g_erase_misses.store(0, std::memory_order_relaxed);
+  internal::g_forest_edge_hits.store(0, std::memory_order_relaxed);
+  internal::g_replacement_searches.store(0, std::memory_order_relaxed);
+  internal::g_components_split.store(0, std::memory_order_relaxed);
 }
 
 // RAII: enables counters on construction and restores the previous state.

@@ -4,7 +4,7 @@
 Usage: check_bench_serving.py FILE [FILE...]
 
 Validates every file: required keys, both serving modes for every mix, all
-four canonical mixes present, numeric sanity (non-negative, percentiles
+five canonical mixes present, numeric sanity (non-negative, percentiles
 monotone p50 <= p99 <= p999 <= max). Exits non-zero with a message on the
 first violation, so CI catches a harness regression that silently stops
 emitting a mode or a field.
@@ -16,9 +16,11 @@ import sys
 REQUIRED_TOP = {"bench", "nodes", "readers", "mixes"}
 REQUIRED_ENTRY = {
     "mix", "mode", "offered_ops_per_sec", "achieved_ops_per_sec", "ops",
-    "batches", "edges_ingested", "p50_us", "p99_us", "p999_us", "max_us",
+    "batches", "edges_ingested", "edges_erased", "p50_us", "p99_us",
+    "p999_us", "max_us",
 }
-EXPECTED_MIXES = {"read_mostly", "write_heavy", "bursty", "zipfian"}
+EXPECTED_MIXES = {"read_mostly", "write_heavy", "bursty", "zipfian",
+                  "delete_heavy"}
 EXPECTED_MODES = {"snapshot", "shared-lock"}
 
 
@@ -63,6 +65,8 @@ def check(path):
         if not (entry["p50_us"] <= entry["p99_us"] <= entry["p999_us"]
                 <= entry["max_us"]):
             fail(path, f"{where}: percentiles not monotone")
+        if entry["mix"] == "delete_heavy" and entry["edges_erased"] == 0:
+            fail(path, f"{where}: delete_heavy mix recorded no erases")
         seen.add((entry["mix"], entry["mode"]))
 
     mixes_seen = {mix for mix, _ in seen}
