@@ -12,6 +12,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/registry.h"
+#include "src/parallel/numa.h"
 
 namespace {
 
@@ -90,6 +91,11 @@ int main() {
   }
   std::printf("representation: %s\n",
               suite.empty() ? "csr" : suite.front().handle.representation_name());
+  // The registry's NumaReplicated twins contribute their own
+  // ";NumaReplicated" column groups. On one node they fall back to the
+  // flat algorithm; set CONNECTIT_NUMA_NODES=k to emulate the replicas.
+  std::printf("numa: %zu node(s), backend=%s\n",
+              NumaTopology::Get().num_nodes(), NumaTopology::Get().backend());
   RunHeatmap(suite, SamplingOption::kNone,
              "Figure 3: union-find slowdowns vs fastest (No Sampling)");
   RunHeatmap(suite, SamplingOption::kKOut,

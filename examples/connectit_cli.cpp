@@ -38,6 +38,17 @@
 //               see src/core/dynamic_forest.h). Prints the erase counters
 //               and verifies the final labeling against a full static run
 //               over the surviving edges.
+// --numa=<off|auto|k>: memory-placement mode (src/parallel/numa.h).
+//               off forces a single-node topology; auto re-detects
+//               (sysfs, or CONNECTIT_NUMA_NODES for an emulated
+//               partition); a number k emulates k nodes. The thread pool
+//               rebinds its workers to the chosen topology, sharded
+//               partitions place shard s on node s % k, and a flat
+//               union-find variant with a registered NumaReplicated twin
+//               is upgraded to it, so the printed locality counters
+//               (local hint hops / cross-node root hops / hint
+//               compressions) reflect the replicated parent arrays. Works
+//               in static and --stream modes.
 // The variant space is identical for every representation; the registry
 // dispatches on the GraphHandle.
 //
@@ -63,6 +74,8 @@
 #include "src/graph/graph_handle.h"
 #include "src/graph/io.h"
 #include "src/graph/sharded.h"
+#include "src/parallel/numa.h"
+#include "src/parallel/thread_pool.h"
 #include "src/stats/counters.h"
 
 namespace {
@@ -80,14 +93,79 @@ int Usage() {
   std::fprintf(stderr,
                "usage: connectit_cli [--repr=<csr|compressed|coo|sharded>] "
                "[--shards=<P>] [--stream=<batches>x<batch-size>] "
-               "[--erase=<E>] <edge-list-file> [variant] [sampling]\n"
+               "[--erase=<E>] [--numa=<off|auto|k>] "
+               "<edge-list-file> [variant] [sampling]\n"
                "       connectit_cli [--repr=...] [--stream=...] --generate "
                "<rmat|grid|ba|er> <n> [variant] [sampling]\n"
                "       connectit_cli --list\n"
                "(--compressed is an alias for --repr=compressed; --shards "
                "defaults to hardware concurrency; --erase requires "
-               "--stream)\n");
+               "--stream; --numa=k emulates k nodes)\n");
   return 2;
+}
+
+// --numa reporting: the active topology and how the pool's workers are
+// spread across its nodes.
+void PrintTopology() {
+  const NumaTopology& topo = NumaTopology::Get();
+  std::vector<size_t> workers_per_node(topo.num_nodes(), 0);
+  const size_t workers = NumWorkers();
+  for (size_t w = 0; w < workers; ++w) {
+    ++workers_per_node[ThreadPool::Get().NodeOf(w)];
+  }
+  std::string spread;
+  for (size_t node = 0; node < workers_per_node.size(); ++node) {
+    if (!spread.empty()) spread += " ";
+    spread += "node" + std::to_string(node) + ":" +
+              std::to_string(workers_per_node[node]);
+  }
+  std::printf("numa: %zu node(s), backend=%s, workers [%s]\n",
+              topo.num_nodes(), topo.backend(), spread.c_str());
+}
+
+void PrintShardPlacement(const ShardedGraph& sharded) {
+  std::string placement;
+  const size_t shown = std::min<size_t>(sharded.num_shards(), 16);
+  for (size_t s = 0; s < shown; ++s) {
+    if (!placement.empty()) placement += " ";
+    placement += std::to_string(s) + "->" +
+                 std::to_string(sharded.NodeOfShard(s));
+  }
+  if (shown < sharded.num_shards()) placement += " ...";
+  std::printf("shard placement (shard->node, s %% %zu): %s\n",
+              sharded.placement_nodes(), placement.c_str());
+}
+
+void PrintLocality(const stats::LocalitySnapshot& before) {
+  const stats::LocalitySnapshot after = stats::ReadLocality();
+  std::printf(
+      "locality: %llu local hint hops, %llu cross-node root hops, "
+      "%llu hint compressions\n",
+      static_cast<unsigned long long>(after.local_find_depth -
+                                      before.local_find_depth),
+      static_cast<unsigned long long>(after.cross_node_find_depth -
+                                      before.cross_node_find_depth),
+      static_cast<unsigned long long>(after.cross_node_compressions -
+                                      before.cross_node_compressions));
+}
+
+// With --numa active on a multi-node topology, a flat union-find variant
+// whose NumaReplicated twin is registered is upgraded to the twin, so the
+// run actually exercises the replicated parent arrays.
+std::string MaybeReplicatedTwin(const std::string& variant_name) {
+  const Variant* variant = FindVariant(variant_name);
+  if (variant == nullptr) return variant_name;  // Spec::Algorithm will die
+  if (variant->family != AlgorithmFamily::kUnionFind ||
+      variant->descriptor.placement != PlacementOption::kFlat) {
+    return variant_name;
+  }
+  VariantDescriptor twin = variant->descriptor;
+  twin.placement = PlacementOption::kNumaReplicated;
+  const Variant* replicated = FindVariant(twin);
+  if (replicated == nullptr) return variant_name;  // e.g. the JTB variants
+  std::printf("numa: upgraded %s -> %s\n", variant_name.c_str(),
+              replicated->name.c_str());
+  return replicated->name;
 }
 
 double Seconds(const std::chrono::steady_clock::time_point& t0) {
@@ -103,8 +181,9 @@ double Seconds(const std::chrono::steady_clock::time_point& t0) {
 int RunStreamMode(GraphRepresentation repr, size_t num_shards,
                   const EdgeList& all, const Connectivity::Spec& spec,
                   const std::string& sampling_name, size_t num_batches,
-                  size_t batch_size, size_t num_erase) {
+                  size_t batch_size, size_t num_erase, bool report_numa) {
   const stats::ServingSnapshot serving_before = stats::ReadServing();
+  const stats::LocalitySnapshot locality_before = stats::ReadLocality();
   Connectivity index(spec);
   if (!index.variant().supports_streaming) {
     std::fprintf(stderr, "error: %s does not support streaming (try --list)\n",
@@ -149,6 +228,9 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
               "representation=%s\n",
               all.num_nodes, all.size(), base.size(), held,
               base_handle.representation_name());
+  if (report_numa && repr == GraphRepresentation::kSharded) {
+    PrintShardPlacement(*full_handle.sharded());
+  }
   std::printf("algorithm: %s (+%s), handoff %zux%zu\n",
               index.variant().name.c_str(), sampling_name.c_str(),
               num_batches, batch_size);
@@ -252,6 +334,7 @@ int RunStreamMode(GraphRepresentation repr, size_t num_shards,
         static_cast<unsigned long long>(s.label_refreshes -
                                         serving_before.label_refreshes));
   }
+  if (report_numa) PrintLocality(locality_before);
 
   // The handoff invariant: seeded streaming over the tail must land on the
   // same partition as a static pass over the whole edge set — minus the
@@ -291,6 +374,7 @@ int main(int argc, char** argv) {
   size_t stream_batches = 0;
   size_t stream_batch_size = 0;
   size_t num_erase = 0;
+  std::string numa_mode;  // empty = flag absent, keep ambient topology
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compressed") == 0 ||
@@ -324,6 +408,19 @@ int main(int argc, char** argv) {
         return Usage();
       }
       num_erase = static_cast<size_t>(value);
+    } else if (std::strncmp(argv[i], "--numa=", 7) == 0) {
+      numa_mode = argv[i] + 7;
+      if (numa_mode != "off" && numa_mode != "auto") {
+        char* end = nullptr;
+        const long value = std::strtol(numa_mode.c_str(), &end, 10);
+        if (*numa_mode.c_str() == '\0' || *end != '\0' || value <= 0) {
+          std::fprintf(stderr,
+                       "error: --numa expects off, auto, or a node count, "
+                       "got %s\n",
+                       numa_mode.c_str());
+          return Usage();
+        }
+      }
     } else if (std::strncmp(argv[i], "--stream=", 9) == 0) {
       if (std::sscanf(argv[i] + 9, "%zux%zu", &stream_batches,
                       &stream_batch_size) != 2 ||
@@ -340,6 +437,22 @@ int main(int argc, char** argv) {
   }
   argc = out;
   if (argc < 2) return Usage();
+
+  // Apply the placement mode before anything captures the topology: the
+  // thread pool rebinds its workers, and every later ShardedGraph
+  // partition picks up the new node count.
+  if (!numa_mode.empty()) {
+    if (numa_mode == "off") {
+      NumaTopology::OverrideNodes(1);
+    } else if (numa_mode == "auto") {
+      NumaTopology::OverrideNodes(0);  // re-detect (sysfs or env)
+    } else {
+      NumaTopology::OverrideNodes(
+          static_cast<size_t>(std::strtol(numa_mode.c_str(), nullptr, 10)));
+    }
+    ThreadPool::Get().Rebind();
+  }
+  const bool report_numa = !numa_mode.empty();
 
   if (std::strcmp(argv[1], "--list") == 0) {
     for (const Variant& v : AllVariants()) {
@@ -390,8 +503,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string variant_name =
-      (argc > arg) ? argv[arg] : DefaultVariant().name;
+  if (report_numa) PrintTopology();
+  std::string variant_name = (argc > arg) ? argv[arg] : DefaultVariant().name;
+  if (report_numa && NumaTopology::Get().num_nodes() > 1) {
+    variant_name = MaybeReplicatedTwin(variant_name);
+  }
   const std::string sampling_name = (argc > arg + 1) ? argv[arg + 1] : "kout";
   // Spec::Algorithm parses the name into a typed descriptor; an unknown
   // name aborts with the closest registered name (try --list).
@@ -405,7 +521,8 @@ int main(int argc, char** argv) {
   }
   if (stream_batches > 0) {
     return RunStreamMode(repr, num_shards, edges, spec, sampling_name,
-                         stream_batches, stream_batch_size, num_erase);
+                         stream_batches, stream_batch_size, num_erase,
+                         report_numa);
   }
 
   GraphHandle handle;
@@ -432,10 +549,12 @@ int main(int argc, char** argv) {
     std::printf("shards: %zu (%u vertices each)\n",
                 handle.sharded()->num_shards(),
                 handle.sharded()->shard_width());
+    if (report_numa) PrintShardPlacement(*handle.sharded());
   }
   const uint64_t builds_before = (repr == GraphRepresentation::kSharded)
                                      ? ShardedCsrMaterializations()
                                      : CooCsrMaterializations();
+  const stats::LocalitySnapshot locality_before = stats::ReadLocality();
   Connectivity index(spec);
   const auto t0 = std::chrono::steady_clock::now();
   index.Build(handle);
@@ -460,6 +579,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ShardedCsrMaterializations() -
                                                 builds_before));
   }
+  if (report_numa) PrintLocality(locality_before);
   std::printf("components: %u\n", num_components);
   const auto histogram = ComponentSizeHistogram(labels);
   std::printf("largest component: %u vertices\n",

@@ -116,7 +116,8 @@ class StreamingConnectivity {
 };
 
 template <UniteOption kUnite, FindOption kFind,
-          SpliceOption kSplice = SpliceOption::kNone>
+          SpliceOption kSplice = SpliceOption::kNone,
+          PlacementOption kPlace = PlacementOption::kFlat>
 class UnionFindStreaming final : public StreamingConnectivity {
  public:
   // Phase-concurrent variants (Rem + SpliceAtomic) must separate updates
@@ -162,9 +163,14 @@ class UnionFindStreaming final : public StreamingConnectivity {
   }
 
   std::vector<NodeId> Labels() const override {
-    std::vector<NodeId> out = labels_;
-    FullyCompressParents(out.data(), static_cast<NodeId>(out.size()));
-    return out;
+    // Compress the live forest in place (blocked path-halving in
+    // FullyCompressParents) before copying: per-batch snapshot publication
+    // stops re-walking chains an earlier publication already resolved.
+    // Safe between batches, and redirecting a vertex to its root preserves
+    // every unite rule's invariant (min-based: root <= v; JTB: its own
+    // finds perform the same redirect).
+    FullyCompressParents(labels_.data(), static_cast<NodeId>(labels_.size()));
+    return labels_;
   }
 
   NodeId num_nodes() const override {
@@ -172,8 +178,10 @@ class UnionFindStreaming final : public StreamingConnectivity {
   }
 
  private:
-  std::vector<NodeId> labels_;
-  Dsu<kUnite, kFind, kSplice> dsu_;
+  // mutable: Labels() compacts the forest in place, which changes the
+  // representation but never the partition (logically const).
+  mutable std::vector<NodeId> labels_;
+  DsuFor<kUnite, kFind, kSplice, kPlace> dsu_;
 };
 
 // Wait-free find over a min-rooted parent forest (used by Type (ii)).
@@ -218,9 +226,9 @@ class ShiloachVishkinStreaming final : public StreamingConnectivity {
   }
 
   std::vector<NodeId> Labels() const override {
-    std::vector<NodeId> out = labels_;
-    FullyCompressParents(out.data(), static_cast<NodeId>(out.size()));
-    return out;
+    // In-place compression before the copy; see UnionFindStreaming::Labels.
+    FullyCompressParents(labels_.data(), static_cast<NodeId>(labels_.size()));
+    return labels_;
   }
 
   NodeId num_nodes() const override {
@@ -228,7 +236,7 @@ class ShiloachVishkinStreaming final : public StreamingConnectivity {
   }
 
  private:
-  std::vector<NodeId> labels_;
+  mutable std::vector<NodeId> labels_;
 };
 
 // Root-based Liu-Tarjan variants in the streaming setting (Type (ii)).
@@ -277,9 +285,9 @@ class LiuTarjanStreaming final : public StreamingConnectivity {
   }
 
   std::vector<NodeId> Labels() const override {
-    std::vector<NodeId> out = labels_;
-    FullyCompressParents(out.data(), static_cast<NodeId>(out.size()));
-    return out;
+    // In-place compression before the copy; see UnionFindStreaming::Labels.
+    FullyCompressParents(labels_.data(), static_cast<NodeId>(labels_.size()));
+    return labels_;
   }
 
   NodeId num_nodes() const override {
@@ -287,7 +295,7 @@ class LiuTarjanStreaming final : public StreamingConnectivity {
   }
 
  private:
-  std::vector<NodeId> labels_;
+  mutable std::vector<NodeId> labels_;
 };
 
 }  // namespace connectit

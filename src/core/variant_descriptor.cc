@@ -1,5 +1,7 @@
 #include "src/core/variant_descriptor.h"
 
+#include <vector>
+
 namespace connectit {
 
 namespace {
@@ -40,6 +42,10 @@ bool ParseSplice(std::string_view token, SpliceOption* out) {
                     out);
 }
 
+bool ParsePlacement(std::string_view token, PlacementOption* out) {
+  return ParseToken(token, {PlacementOption::kNumaReplicated}, out);
+}
+
 // Parses a paper Appendix-D code ("PRF", "CUSA", ...): one connect letter,
 // one update letter, one shortcut letter, and an optional trailing 'A'.
 bool ParseLtCode(std::string_view code, VariantDescriptor* out) {
@@ -74,7 +80,7 @@ bool ParseLtCode(std::string_view code, VariantDescriptor* out) {
 bool VariantDescriptor::IsValid() const {
   switch (family) {
     case AlgorithmFamily::kUnionFind:
-      return IsValidCombination(unite, find, splice);
+      return IsValidPlacement(unite, find, splice, placement);
     case AlgorithmFamily::kLiuTarjan:
       return IsValidLtCombination(connect, update, shortcut, alter);
     case AlgorithmFamily::kShiloachVishkin:
@@ -93,6 +99,10 @@ std::string VariantDescriptor::ToString() const {
       if (splice != SpliceOption::kNone) {
         name += ";";
         name += connectit::ToString(splice);
+      }
+      if (placement != PlacementOption::kFlat) {
+        name += ";";
+        name += connectit::ToString(placement);
       }
       return name;
     }
@@ -123,21 +133,26 @@ std::optional<VariantDescriptor> VariantDescriptor::Parse(
     return d;
   }
 
-  // Union-find: "unite;find[;splice]".
-  const size_t first = name.find(';');
-  if (first == std::string_view::npos) return std::nullopt;
-  const size_t second = name.find(';', first + 1);
+  // Union-find: "unite;find[;splice][;placement]".
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos <= name.size()) {
+    size_t semi = name.find(';', pos);
+    if (semi == std::string_view::npos) semi = name.size();
+    tokens.push_back(name.substr(pos, semi - pos));
+    pos = semi + 1;
+  }
+  if (tokens.size() < 2 || tokens.size() > 4) return std::nullopt;
   VariantDescriptor d;
   d.family = AlgorithmFamily::kUnionFind;
-  if (!ParseUnite(name.substr(0, first), &d.unite)) return std::nullopt;
-  const std::string_view find_token =
-      (second == std::string_view::npos)
-          ? name.substr(first + 1)
-          : name.substr(first + 1, second - first - 1);
-  if (!ParseFind(find_token, &d.find)) return std::nullopt;
-  if (second != std::string_view::npos) {
-    if (!ParseSplice(name.substr(second + 1), &d.splice)) return std::nullopt;
+  if (!ParseUnite(tokens[0], &d.unite)) return std::nullopt;
+  if (!ParseFind(tokens[1], &d.find)) return std::nullopt;
+  size_t next = 2;
+  if (next < tokens.size() && ParseSplice(tokens[next], &d.splice)) ++next;
+  if (next < tokens.size() && ParsePlacement(tokens[next], &d.placement)) {
+    ++next;
   }
+  if (next != tokens.size()) return std::nullopt;  // unrecognized trailing token
   if (!d.IsValid()) return std::nullopt;
   return d;
 }
@@ -146,7 +161,8 @@ bool operator==(const VariantDescriptor& a, const VariantDescriptor& b) {
   if (a.family != b.family) return false;
   switch (a.family) {
     case AlgorithmFamily::kUnionFind:
-      return a.unite == b.unite && a.find == b.find && a.splice == b.splice;
+      return a.unite == b.unite && a.find == b.find && a.splice == b.splice &&
+             a.placement == b.placement;
     case AlgorithmFamily::kLiuTarjan:
       return a.connect == b.connect && a.update == b.update &&
              a.shortcut == b.shortcut && a.alter == b.alter;

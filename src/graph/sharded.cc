@@ -17,33 +17,34 @@ ShardedGraph ShardedGraph::Partition(const Graph& graph, size_t num_shards) {
   sharded.chunk_ = static_cast<NodeId>(
       std::max<size_t>(1, (static_cast<size_t>(n) + num_shards - 1) /
                               num_shards));
+  sharded.placement_nodes_ = NumaTopology::Get().num_nodes();
   sharded.shards_.resize(num_shards);
 
   const std::vector<EdgeId>& offsets = graph.offsets();
   const std::vector<NodeId>& neighbors = graph.neighbor_array();
-  ParallelFor(
-      0, num_shards,
-      [&](size_t si) {
-        Shard& s = sharded.shards_[si];
-        const size_t chunk = sharded.chunk_;
-        s.first = static_cast<NodeId>(std::min<size_t>(si * chunk, n));
-        const NodeId last = static_cast<NodeId>(
-            std::min<size_t>((si + 1) * chunk, n));
-        const NodeId count = last - s.first;
-        s.offsets.resize(static_cast<size_t>(count) + 1);
-        if (count == 0) {
-          // Trailing empty shard (P > n): a zero-vertex, zero-arc range.
-          s.offsets[0] = 0;
-          return;
-        }
-        const EdgeId base = offsets[s.first];
-        for (NodeId i = 0; i <= count; ++i) {
-          s.offsets[i] = offsets[s.first + i] - base;
-        }
-        s.neighbors.assign(neighbors.begin() + base,
-                           neighbors.begin() + offsets[last]);
-      },
-      /*grain=*/1);
+  // Node-affine fill: shard si is allocated and written by a worker bound
+  // to node NodeOfShard(si), so under the kernel's first-touch policy the
+  // shard's pages land on the node whose workers sweep it later.
+  ParallelForNodeAffine(num_shards, [&](size_t si) {
+    Shard& s = sharded.shards_[si];
+    const size_t chunk = sharded.chunk_;
+    s.first = static_cast<NodeId>(std::min<size_t>(si * chunk, n));
+    const NodeId last = static_cast<NodeId>(
+        std::min<size_t>((si + 1) * chunk, n));
+    const NodeId count = last - s.first;
+    s.offsets.resize(static_cast<size_t>(count) + 1);
+    if (count == 0) {
+      // Trailing empty shard (P > n): a zero-vertex, zero-arc range.
+      s.offsets[0] = 0;
+      return;
+    }
+    const EdgeId base = offsets[s.first];
+    for (NodeId i = 0; i <= count; ++i) {
+      s.offsets[i] = offsets[s.first + i] - base;
+    }
+    s.neighbors.assign(neighbors.begin() + base,
+                       neighbors.begin() + offsets[last]);
+  });
   return sharded;
 }
 

@@ -37,6 +37,7 @@
 
 #include "src/graph/csr.h"
 #include "src/graph/types.h"
+#include "src/parallel/numa.h"
 #include "src/parallel/thread_pool.h"
 
 namespace connectit {
@@ -77,6 +78,17 @@ class ShardedGraph {
 
   // Shard owning vertex v. O(1): shards are equal-width vertex ranges.
   size_t ShardOf(NodeId v) const { return v / chunk_; }
+
+  // NUMA node shard s is placed on: round-robin s % k over the topology
+  // captured at Partition time. Shard s's arrays are first-touch allocated
+  // from a thread bound to this node, and the shard-major sweeps below
+  // schedule shard s preferentially on that node's workers
+  // (ParallelForNodeAffine uses the same s % k mapping).
+  size_t NodeOfShard(size_t s) const {
+    return placement_nodes_ <= 1 ? 0 : s % placement_nodes_;
+  }
+  // Topology node count the shards were placed against (1 = no placement).
+  size_t placement_nodes() const { return placement_nodes_; }
 
   EdgeId degree(NodeId v) const {
     const Shard& s = shards_[ShardOf(v)];
@@ -133,6 +145,7 @@ class ShardedGraph {
   NodeId num_nodes_ = 0;
   EdgeId num_arcs_ = 0;
   NodeId chunk_ = 1;  // vertices per shard; >= 1 so ShardOf never divides by 0
+  size_t placement_nodes_ = 1;  // NumaTopology::num_nodes() at Partition time
   std::vector<Shard> shards_;
 };
 
@@ -145,20 +158,20 @@ void ShardedGraph::MapArcs(F&& fn) const {
 
 template <typename F, typename Pred>
 void ShardedGraph::MapArcsIf(Pred&& pred, F&& fn) const {
-  ParallelFor(
-      0, shards_.size(),
-      [&](size_t si) {
-        const Shard& s = shards_[si];
-        const NodeId count = s.count();
-        for (NodeId local = 0; local < count; ++local) {
-          const NodeId u = s.first + local;
-          if (!pred(u)) continue;
-          const EdgeId lo = s.offsets[local];
-          const EdgeId hi = s.offsets[local + 1];
-          for (EdgeId e = lo; e < hi; ++e) fn(u, s.neighbors[e]);
-        }
-      },
-      /*grain=*/1);
+  // Node-affine shard-major sweep: shard s runs preferentially on a worker
+  // of node NodeOfShard(s) (idle workers steal), which degenerates to a
+  // plain grain-1 ParallelFor on single-node topologies.
+  ParallelForNodeAffine(shards_.size(), [&](size_t si) {
+    const Shard& s = shards_[si];
+    const NodeId count = s.count();
+    for (NodeId local = 0; local < count; ++local) {
+      const NodeId u = s.first + local;
+      if (!pred(u)) continue;
+      const EdgeId lo = s.offsets[local];
+      const EdgeId hi = s.offsets[local + 1];
+      for (EdgeId e = lo; e < hi; ++e) fn(u, s.neighbors[e]);
+    }
+  });
 }
 
 }  // namespace connectit

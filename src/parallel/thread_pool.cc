@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/parallel/numa.h"
+
 namespace connectit {
 
 namespace {
@@ -36,10 +38,29 @@ ThreadPool::ThreadPool(size_t num_workers)
 ThreadPool::~ThreadPool() { StopThreads(); }
 
 void ThreadPool::StartThreads() {
+  // Capture the topology once per thread generation: NodeOf stays stable
+  // for the lifetime of these workers even if the topology is overridden
+  // later (Rebind restarts the threads against the new one).
+  bound_nodes_ = NumaTopology::Get().num_nodes();
   // Worker 0 is the caller of RunOnWorkers; spawn num_workers_ - 1 threads.
   for (size_t i = 1; i < num_workers_; ++i) {
-    threads_.emplace_back([this, i] { WorkerLoop(i); });
+    threads_.emplace_back([this, i] {
+      if (bound_nodes_ > 1) {
+        NumaTopology::Get().BindCurrentThread(NodeOf(i));
+      }
+      WorkerLoop(i);
+    });
   }
+}
+
+size_t ThreadPool::NodeOf(size_t worker) const {
+  if (bound_nodes_ <= 1 || num_workers_ == 0) return 0;
+  return worker * bound_nodes_ / num_workers_;
+}
+
+void ThreadPool::Rebind() {
+  StopThreads();
+  StartThreads();
 }
 
 void ThreadPool::StopThreads() {

@@ -36,6 +36,20 @@ class ThreadPool {
   // Resizes the pool. Must not be called concurrently with parallel work.
   void Resize(size_t num_workers);
 
+  // NUMA node assigned to `worker`: workers form contiguous groups, one per
+  // topology node (worker * nodes / num_workers), and each spawned worker
+  // best-effort binds its affinity to that node's cpus at thread start. On a
+  // single-node topology every worker maps to node 0 and no binding happens.
+  size_t NodeOf(size_t worker) const;
+
+  // Number of topology nodes the current worker threads were bound against.
+  size_t num_bound_nodes() const { return bound_nodes_; }
+
+  // Restarts the worker threads so they re-read the NUMA topology and
+  // re-bind (after NumaTopology::OverrideNodes). Must not be called
+  // concurrently with parallel work.
+  void Rebind();
+
   // Runs fn(worker_id) on `num_tasks` workers (including the caller) and
   // waits for all of them. fn must be safe to invoke concurrently.
   void RunOnWorkers(size_t num_tasks, const std::function<void(size_t)>& fn);
@@ -55,6 +69,7 @@ class ThreadPool {
   void StopThreads();
 
   size_t num_workers_ = 1;
+  size_t bound_nodes_ = 1;  // topology node count captured at StartThreads
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

@@ -27,13 +27,36 @@ namespace connectit {
 
 // Fully compresses a quiescent parent forest so every vertex points directly
 // at its root. Only call when no unions are in flight.
+//
+// Blocked with path-halving inside the block: each walked vertex is
+// CAS-redirected to its grandparent, so chains shared by many vertices in
+// the same block are only walked at full length once. The halving CAS can
+// never undo a finalized parents[v] = root store — the CAS expects the
+// stale parent value, and a vertex whose parent is its root produces no
+// halving write — so the all-roots postcondition holds under concurrent
+// blocks.
 inline void FullyCompressParents(NodeId* parents, NodeId n) {
-  ParallelFor(0, n, [&](size_t vi) {
-    const NodeId v = static_cast<NodeId>(vi);
-    NodeId root = v;
-    while (parents[root] != root) root = parents[root];
-    parents[v] = root;
-  });
+  ParallelForBlocked(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t vi = lo; vi < hi; ++vi) {
+          const NodeId v = static_cast<NodeId>(vi);
+          NodeId x = v;
+          NodeId p = AtomicLoadRelaxed(&parents[x]);
+          while (p != x) {
+            const NodeId gp = AtomicLoadRelaxed(&parents[p]);
+            if (gp == p) {  // p is the root
+              p = gp;
+              break;
+            }
+            CompareAndSwap(&parents[x], p, gp);
+            x = p;
+            p = gp;
+          }
+          AtomicStore(&parents[v], p);
+        }
+      },
+      /*grain=*/2048);
 }
 
 template <UniteOption kUnite, FindOption kFind,

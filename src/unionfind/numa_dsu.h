@@ -1,0 +1,206 @@
+// NUMA-replicated concurrent union-find (ROADMAP "NUMA-aware DSU", in the
+// spirit of raid-7's DSU_Adaptive — see SNIPPETS.md Snippet 3).
+//
+// NumaDsu<unite, find, splice> wraps the flat Dsu with per-NUMA-node
+// *ancestor-hint replicas* of the parent array:
+//
+//  * Node 0 is the home node: the caller's parent array is the single
+//    authoritative forest, and home-node workers run the flat algorithm on
+//    it unchanged.
+//  * Every other node owns a node-local hint array (first-touch allocated on
+//    that node). hint[v] is either v (cold) or, with the owner bit set, a
+//    vertex that was v's component root when a cross-node walk last
+//    resolved v — by monotonicity of union-find (components only merge,
+//    min-based parents only decrease) any such value remains an ancestor of
+//    v forever, so hints never need invalidation.
+//
+// An operation on a non-home node first resolves both endpoints through the
+// local hint chains (local_find_depth). If the two chains meet at the same
+// cached entry the operation completes with zero remote reads — the
+// owner-bit fast path. Otherwise the authoritative array is walked read-only
+// (cross_node_find_depth; each hop is a remote DRAM hit on a real machine)
+// and, adaptively, the discovered root is compressed into the *local*
+// replica (cross_node_compressions) instead of writing remote cachelines.
+// Actual link writes always go through the embedded flat Dsu, so every
+// unite rule's linearization argument carries over verbatim and the final
+// labeling equals the flat labeling after FullyCompressParents.
+//
+// On a single-node topology (k == 1), or when n does not leave headroom for
+// the owner bit, no replicas are allocated and every call forwards to the
+// flat Dsu — bit-for-bit identical behavior and no counter traffic.
+//
+// The hint chains rely on min-based linking (cached roots are strictly
+// smaller than the vertex, so chains strictly decrease and terminate);
+// IsValidPlacement excludes Union-JTB's random-priority linking.
+
+#ifndef CONNECTIT_UNIONFIND_NUMA_DSU_H_
+#define CONNECTIT_UNIONFIND_NUMA_DSU_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/parallel/atomics.h"
+#include "src/parallel/numa.h"
+#include "src/stats/counters.h"
+#include "src/unionfind/dsu.h"
+#include "src/unionfind/options.h"
+
+namespace connectit {
+
+template <UniteOption kUnite, FindOption kFind,
+          SpliceOption kSplice = SpliceOption::kNone>
+class NumaDsu {
+  static_assert(IsValidPlacement(kUnite, kFind, kSplice,
+                                 PlacementOption::kNumaReplicated),
+                "NumaReplicated placement requires a min-based unite rule");
+
+ public:
+  // Marks a hint entry holding a cached root (vs. cold identity).
+  static constexpr NodeId kOwnedBit = NodeId{1} << 31;
+  static constexpr NodeId kValueMask = kOwnedBit - 1;
+  // A cross-node walk longer than this installs its root locally.
+  static constexpr uint64_t kCompressThreshold = 2;
+
+  NumaDsu(NodeId* parents, NodeId n) : dsu_(parents, n), parents_(parents) {
+    size_t k = NumaTopology::Get().num_nodes();
+    if (n >= kOwnedBit) k = 1;  // vertex ids must fit beside the owner bit
+    if (k > 1) {
+      hints_.resize(k);
+      for (size_t node = 1; node < k; ++node) {
+        hints_[node] = AllocateOnNode<NodeId>(
+            n, node, [](size_t i) { return static_cast<NodeId>(i); });
+      }
+    }
+  }
+
+  NodeId* parents() { return dsu_.parents(); }
+  NodeId num_nodes() const { return dsu_.num_nodes(); }
+  size_t num_replicas() const { return hints_.empty() ? 1 : hints_.size(); }
+
+  NodeId Find(NodeId u) {
+    NodeId* hints = LocalHints();
+    if (hints == nullptr) return dsu_.Find(u);
+    uint64_t local = 0, cross = 0, comps = 0;
+    const NodeId start = WalkLocal(u, hints, local);
+    const NodeId root = CrossResolve(start, u, hints, cross, comps);
+    stats::RecordLocality(local, cross, comps);
+    return root;
+  }
+
+  bool SameSet(NodeId u, NodeId v) {
+    NodeId* hints = LocalHints();
+    if (hints == nullptr) return dsu_.SameSet(u, v);
+    uint64_t local = 0, cross = 0, comps = 0;
+    const NodeId su = WalkLocal(u, hints, local);
+    const NodeId sv = WalkLocal(v, hints, local);
+    if (su == sv) {  // owner-bit fast path: no remote reads at all
+      stats::RecordLocality(local, cross, comps);
+      return true;
+    }
+    bool result;
+    // Standard concurrent same-set loop on the authoritative array.
+    while (true) {
+      const NodeId ru = CrossResolve(su, u, hints, cross, comps);
+      const NodeId rv = CrossResolve(sv, v, hints, cross, comps);
+      if (ru == rv) {
+        result = true;
+        break;
+      }
+      ++cross;
+      if (AtomicLoad(&parents_[ru]) == ru) {
+        result = false;
+        break;
+      }
+    }
+    stats::RecordLocality(local, cross, comps);
+    return result;
+  }
+
+  // Same contract as Dsu::Unite: returns the root this call hooked, or
+  // kInvalidNode when the endpoints were already connected. Resolving the
+  // endpoints to (near-)roots locally first means the embedded flat unite
+  // starts its walk at the top of the tree, so its remote traffic is a few
+  // hops instead of a full path.
+  NodeId Unite(NodeId u, NodeId v) {
+    NodeId* hints = LocalHints();
+    if (hints == nullptr) return dsu_.Unite(u, v);
+    uint64_t local = 0, cross = 0, comps = 0;
+    const NodeId su = WalkLocal(u, hints, local);
+    const NodeId sv = WalkLocal(v, hints, local);
+    NodeId hooked;
+    if (su == sv) {  // owner-bit fast path: already known connected
+      hooked = kInvalidNode;
+    } else {
+      const NodeId ru = CrossResolve(su, u, hints, cross, comps);
+      const NodeId rv = CrossResolve(sv, v, hints, cross, comps);
+      hooked = (ru == rv) ? kInvalidNode : dsu_.Unite(ru, rv);
+    }
+    stats::RecordLocality(local, cross, comps);
+    return hooked;
+  }
+
+ private:
+  // The calling thread's hint replica, or nullptr when the flat fallback
+  // applies (single node, home node, or an unbound thread).
+  NodeId* LocalHints() {
+    if (hints_.empty()) return nullptr;
+    const size_t node = NumaTopology::CurrentNode();
+    if (node == 0 || node >= hints_.size()) return nullptr;
+    return hints_[node].get();
+  }
+
+  // Follows the local hint chain. Masked values strictly decrease (installs
+  // are value-ordered), so the walk terminates without revalidating against
+  // the authoritative array.
+  NodeId WalkLocal(NodeId u, const NodeId* hints, uint64_t& local) const {
+    NodeId x = u;
+    for (;;) {
+      const NodeId h = AtomicLoadRelaxed(&hints[x]) & kValueMask;
+      if (h == x) return x;
+      x = h;
+      ++local;
+    }
+  }
+
+  // Walks the authoritative array read-only from `start` to the root,
+  // counting each hop as a cross-node read. Long walks adaptively install
+  // the root into the local replica for both the chain end and the original
+  // endpoint, so the *next* operation touching this component stays local.
+  NodeId CrossResolve(NodeId start, NodeId orig, NodeId* hints,
+                      uint64_t& cross, uint64_t& comps) {
+    NodeId root = start;
+    uint64_t walk = 0;
+    for (;;) {
+      const NodeId p = AtomicLoad(&parents_[root]);
+      ++walk;
+      if (p == root) break;
+      root = p;
+    }
+    cross += walk;
+    if (walk > kCompressThreshold) {
+      comps += InstallHint(hints, start, root);
+      if (orig != start) comps += InstallHint(hints, orig, root);
+    }
+    return root;
+  }
+
+  // Value-ordered install: only ever caches a strictly smaller vertex, which
+  // keeps hint chains acyclic under concurrent racing installs (both racers
+  // write valid ancestors; whichever lands is correct).
+  static uint64_t InstallHint(NodeId* hints, NodeId x, NodeId root) {
+    if (root >= x) return 0;
+    AtomicStore(&hints[x], root | kOwnedBit);
+    return 1;
+  }
+
+  Dsu<kUnite, kFind, kSplice> dsu_;
+  NodeId* parents_;
+  // hints_[node] for node >= 1; empty in the flat fallback. Entry encoding:
+  // identity (cold) or cached-root | kOwnedBit.
+  std::vector<std::unique_ptr<NodeId[]>> hints_;
+};
+
+}  // namespace connectit
+
+#endif  // CONNECTIT_UNIONFIND_NUMA_DSU_H_

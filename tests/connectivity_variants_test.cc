@@ -70,11 +70,20 @@ TEST(Registry, HasExpectedVariantCounts) {
     if (v.family == AlgorithmFamily::kUnionFind) ++uf;
     if (v.family == AlgorithmFamily::kLiuTarjan) ++lt;
   }
-  // 12 non-Rem x find + 2 JTB + 2*11 Rem = 36 union-find variants; the 4
-  // sampling modes they compose with give the paper's 144 combinations.
-  EXPECT_EQ(uf, 36u);
+  // 12 non-Rem x find + 2 JTB + 2*11 Rem = 36 flat union-find variants;
+  // the 4 sampling modes they compose with give the paper's 144
+  // combinations. The memory-placement axis adds a NumaReplicated twin for
+  // every flat variant except the two JTB ones (random-priority linking is
+  // incompatible with the value-ordered replica hints): 36 + 34 = 70.
+  EXPECT_EQ(uf, 70u);
+  size_t uf_replicated = 0;
+  for (const Variant& v : AllVariants()) {
+    uf_replicated += v.family == AlgorithmFamily::kUnionFind &&
+                     v.descriptor.placement == PlacementOption::kNumaReplicated;
+  }
+  EXPECT_EQ(uf_replicated, 34u);
   EXPECT_EQ(lt, 16u);  // Appendix D list
-  EXPECT_GE(AllVariants().size(), 55u);
+  EXPECT_GE(AllVariants().size(), 89u);
 }
 
 TEST(Registry, NamesAreUniqueAndFindable) {

@@ -1,0 +1,258 @@
+// NUMA-replicated union-find (src/unionfind/numa_dsu.h).
+//
+// The core contract: for every supported (unite, find, splice) rule, on
+// every representation, under every emulated node count, the replicated
+// variant's final labeling is *bit-for-bit* identical to the flat Dsu's —
+// replicas are read-only ancestor-hint caches, all link writes go through
+// the embedded flat Dsu, and min-based linking makes the compressed
+// labeling canonical (label = component minimum). Plus the locality
+// counter pins and a concurrent stress that the TSan job runs.
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/algo/verify.h"
+#include "src/core/registry.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_handle.h"
+#include "src/parallel/numa.h"
+#include "src/parallel/thread_pool.h"
+#include "src/stats/counters.h"
+#include "src/unionfind/dsu.h"
+#include "src/unionfind/numa_dsu.h"
+#include "tests/test_graphs.h"
+
+namespace connectit {
+namespace {
+
+class NumaDsuTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    NumaTopology::OverrideNodes(0);
+    SetNumWorkers(0);
+    ThreadPool::Get().Rebind();
+  }
+
+  // Emulate `nodes` with enough workers that every node owns at least one
+  // worker group (the pool oversubscribes a small machine; node identity
+  // is logical, so the multi-replica paths run regardless of cpu count).
+  static void UseTopology(size_t nodes, size_t workers) {
+    NumaTopology::OverrideNodes(nodes);
+    SetNumWorkers(workers);
+    ThreadPool::Get().Rebind();
+  }
+};
+
+// Every registered NumaReplicated variant, against its flat twin, across
+// csr and sharded handles, under k in {1, 2, 4}: identical labels.
+TEST_F(NumaDsuTest, ReplicatedMatchesFlatBitForBit) {
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{4}}) {
+    UseTopology(k, /*workers=*/4);
+    for (const Variant& v : AllVariants()) {
+      if (v.family != AlgorithmFamily::kUnionFind ||
+          v.descriptor.placement != PlacementOption::kNumaReplicated) {
+        continue;
+      }
+      VariantDescriptor flat_desc = v.descriptor;
+      flat_desc.placement = PlacementOption::kFlat;
+      const Variant* flat = FindVariant(flat_desc);
+      ASSERT_NE(flat, nullptr) << v.name;
+      for (const auto& [name, graph] : testing::SmallBasket()) {
+        const GraphHandle csr(graph);
+        const GraphHandle sharded = GraphHandle::Shard(graph, 3);
+        const SamplingConfig none = SamplingConfig::None();
+        const std::vector<NodeId> want = flat->run(csr, none);
+        EXPECT_EQ(v.run(csr, none), want)
+            << v.name << " csr k=" << k << " " << name;
+        EXPECT_EQ(v.run(sharded, none), want)
+            << v.name << " sharded k=" << k << " " << name;
+      }
+    }
+  }
+}
+
+// Sampling composes with the placement axis: the finish phase runs on the
+// replicated structure and still lands on the flat labeling.
+TEST_F(NumaDsuTest, ReplicatedMatchesFlatUnderSampling) {
+  UseTopology(/*nodes=*/2, /*workers=*/4);
+  const Variant& replicated =
+      GetVariantOrDie("Union-Rem-CAS;FindNaive;SplitAtomicOne;NumaReplicated");
+  const Variant& flat =
+      GetVariantOrDie("Union-Rem-CAS;FindNaive;SplitAtomicOne");
+  for (const auto& [name, graph] : testing::SmallBasket()) {
+    const GraphHandle handle(graph);
+    const SamplingConfig kout = SamplingConfig::KOut();
+    EXPECT_EQ(replicated.run(handle, kout), flat.run(handle, kout)) << name;
+  }
+}
+
+// k == 1: no replicas are allocated, every call forwards to the flat Dsu,
+// and no locality counter moves.
+TEST_F(NumaDsuTest, SingleNodeFallbackIsFreeOfCounterTraffic) {
+  UseTopology(/*nodes=*/1, /*workers=*/4);
+  const stats::LocalitySnapshot before = stats::ReadLocality();
+
+  std::vector<NodeId> parents(256);
+  for (NodeId v = 0; v < 256; ++v) parents[v] = v;
+  NumaDsu<UniteOption::kAsync, FindOption::kNaive> dsu(parents.data(), 256);
+  EXPECT_EQ(dsu.num_replicas(), 1u);
+  for (NodeId v = 0; v + 1 < 256; ++v) dsu.Unite(v, v + 1);
+  for (NodeId v = 0; v < 256; ++v) EXPECT_EQ(dsu.Find(v), 0u);
+
+  const stats::LocalitySnapshot after = stats::ReadLocality();
+  EXPECT_EQ(after.local_find_depth, before.local_find_depth);
+  EXPECT_EQ(after.cross_node_find_depth, before.cross_node_find_depth);
+  EXPECT_EQ(after.cross_node_compressions, before.cross_node_compressions);
+}
+
+// A non-home thread walking a deep authoritative chain: the walk is
+// counted as cross-node reads, the discovered root is compressed into the
+// local replica, and the next resolution of the same vertex is (nearly)
+// local. Thread node identity is forced via BindCurrentThread, so the pin
+// is deterministic.
+TEST_F(NumaDsuTest, CrossNodeWalksCountAndCompress) {
+  UseTopology(/*nodes=*/2, /*workers=*/4);
+  constexpr NodeId kN = 64;
+  // A maximal-depth min-based forest: v's parent is v - 1.
+  std::vector<NodeId> parents(kN);
+  parents[0] = 0;
+  for (NodeId v = 1; v < kN; ++v) parents[v] = v - 1;
+  NumaDsu<UniteOption::kAsync, FindOption::kNaive> dsu(parents.data(), kN);
+  ASSERT_EQ(dsu.num_replicas(), 2u);
+
+  const NumaTopology& topo = NumaTopology::Get();
+  topo.BindCurrentThread(1);  // act as a node-1 thread
+  const stats::LocalitySnapshot t0 = stats::ReadLocality();
+  EXPECT_EQ(dsu.Find(kN - 1), 0u);
+  const stats::LocalitySnapshot t1 = stats::ReadLocality();
+  // The cold walk traversed the whole chain remotely and installed the
+  // root into the local replica.
+  EXPECT_EQ(t1.cross_node_find_depth - t0.cross_node_find_depth,
+            static_cast<uint64_t>(kN));
+  EXPECT_GE(t1.cross_node_compressions - t0.cross_node_compressions, 1u);
+
+  // The warm walk rides the hint: one local hop, one remote root check.
+  EXPECT_EQ(dsu.Find(kN - 1), 0u);
+  const stats::LocalitySnapshot t2 = stats::ReadLocality();
+  EXPECT_EQ(t2.local_find_depth - t1.local_find_depth, 1u);
+  EXPECT_EQ(t2.cross_node_find_depth - t1.cross_node_find_depth, 1u);
+
+  // Owner-bit fast path: both endpoints' hint chains end at the same
+  // cached root, so SameSet completes with zero remote reads.
+  EXPECT_EQ(dsu.Find(kN - 2), 0u);  // install the second hint
+  const stats::LocalitySnapshot t3 = stats::ReadLocality();
+  EXPECT_TRUE(dsu.SameSet(kN - 1, kN - 2));
+  const stats::LocalitySnapshot t4 = stats::ReadLocality();
+  EXPECT_EQ(t4.cross_node_find_depth, t3.cross_node_find_depth);
+  EXPECT_GE(t4.local_find_depth, t3.local_find_depth);
+  topo.BindCurrentThread(0);
+
+  // Counters are cumulative and monotone.
+  EXPECT_GE(t4.local_find_depth, t0.local_find_depth);
+  EXPECT_GE(t4.cross_node_find_depth, t0.cross_node_find_depth);
+  EXPECT_GE(t4.cross_node_compressions, t0.cross_node_compressions);
+}
+
+// Unite through the replicated structure from a non-home node produces the
+// same forest as flat unites, and the home node (node 0) never touches a
+// replica.
+TEST_F(NumaDsuTest, NonHomeUnitesMatchFlat) {
+  UseTopology(/*nodes=*/2, /*workers=*/4);
+  const Graph graph = GenerateErdosRenyi(512, 2048, /*seed=*/11);
+
+  std::vector<NodeId> flat_parents(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) flat_parents[v] = v;
+  Dsu<UniteOption::kRemCas, FindOption::kSplit, SpliceOption::kSplitOne>
+      flat(flat_parents.data(), graph.num_nodes());
+  graph.MapArcs([&](NodeId u, NodeId v) {
+    if (u < v) flat.Unite(u, v);
+  });
+  FullyCompressParents(flat_parents.data(), graph.num_nodes());
+
+  std::vector<NodeId> repl_parents(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) repl_parents[v] = v;
+  NumaDsu<UniteOption::kRemCas, FindOption::kSplit, SpliceOption::kSplitOne>
+      repl(repl_parents.data(), graph.num_nodes());
+  const NumaTopology& topo = NumaTopology::Get();
+  topo.BindCurrentThread(1);
+  const stats::LocalitySnapshot before = stats::ReadLocality();
+  graph.MapNeighbors(0, [](NodeId) {});  // no-op; keep the bind exercised
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    graph.MapNeighbors(u, [&](NodeId v) {
+      if (u < v) repl.Unite(u, v);
+    });
+  }
+  const stats::LocalitySnapshot after = stats::ReadLocality();
+  topo.BindCurrentThread(0);
+  FullyCompressParents(repl_parents.data(), graph.num_nodes());
+
+  EXPECT_EQ(repl_parents, flat_parents);
+  // A non-home ingest definitely paid remote reads.
+  EXPECT_GT(after.cross_node_find_depth, before.cross_node_find_depth);
+}
+
+// Concurrent unites from workers spread across 4 emulated nodes (this is
+// the binary the TSan job runs with CONNECTIT_NUMA_NODES set): the final
+// labeling still equals the flat sequential ground truth exactly.
+TEST_F(NumaDsuTest, ConcurrentReplicatedUnitesAreRaceFreeAndExact) {
+  UseTopology(/*nodes=*/4, /*workers=*/8);
+  const Graph graph = GenerateRmat(2048, 8192, /*seed=*/17);
+  const std::vector<Edge> edges = ExtractEdges(graph).edges;
+
+  std::vector<NodeId> parents(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) parents[v] = v;
+  NumaDsu<UniteOption::kRemCas, FindOption::kNaive, SpliceOption::kSplitOne>
+      dsu(parents.data(), graph.num_nodes());
+  ASSERT_EQ(dsu.num_replicas(), 4u);
+
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    dsu.Unite(edges[i].u, edges[i].v);
+  }, /*grain=*/64);
+  FullyCompressParents(parents.data(), graph.num_nodes());
+
+  std::vector<NodeId> flat_parents(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) flat_parents[v] = v;
+  Dsu<UniteOption::kRemCas, FindOption::kNaive, SpliceOption::kSplitOne>
+      flat(flat_parents.data(), graph.num_nodes());
+  for (const Edge& e : edges) flat.Unite(e.u, e.v);
+  FullyCompressParents(flat_parents.data(), graph.num_nodes());
+
+  EXPECT_EQ(parents, flat_parents);
+  EXPECT_TRUE(SamePartition(parents, SequentialComponents(graph)));
+}
+
+// Concurrent mixed Find/SameSet/Unite traffic — read paths race the link
+// writes and the hint installs race each other. TSan coverage for the
+// read-side; correctness is the exact flat labeling at the end.
+TEST_F(NumaDsuTest, ConcurrentReadsRaceWritesSafely) {
+  UseTopology(/*nodes=*/2, /*workers=*/4);
+  constexpr NodeId kN = 1024;
+  std::vector<NodeId> parents(kN);
+  for (NodeId v = 0; v < kN; ++v) parents[v] = v;
+  NumaDsu<UniteOption::kAsync, FindOption::kSplit> dsu(parents.data(), kN);
+
+  std::atomic<uint64_t> connected{0};
+  ThreadPool::Get().RunOnWorkers(4, [&](size_t worker) {
+    if (worker % 2 == 0) {
+      // Writers: build a path in interleaved halves.
+      for (NodeId v = static_cast<NodeId>(worker) / 2; v + 1 < kN; v += 2) {
+        dsu.Unite(v, v + 1);
+      }
+    } else {
+      // Readers: monotone queries — once connected, always connected.
+      for (NodeId v = 0; v + 1 < kN; ++v) {
+        connected.fetch_add(dsu.SameSet(v, v + 1) ? 1 : 0,
+                            std::memory_order_relaxed);
+        dsu.Find(v);
+      }
+    }
+  });
+  FullyCompressParents(parents.data(), kN);
+  for (NodeId v = 0; v < kN; ++v) EXPECT_EQ(parents[v], 0u);
+}
+
+}  // namespace
+}  // namespace connectit

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Append-only per-PR performance trajectory over BENCH_*.json artifacts.
+
+The bench harnesses (bench_serving, bench_large_graph, ...) emit point-in-
+time BENCH_*.json files; this tool folds them into one JSONL trajectory so
+the numbers can be compared across PRs instead of overwritten by each one.
+
+Usage:
+  bench_trajectory.py append --label LABEL [--trajectory FILE] BENCH...
+  bench_trajectory.py show   [--trajectory FILE]
+  bench_trajectory.py check  [--trajectory FILE]
+
+append  Flattens every scalar metric of each BENCH_*.json into one record
+        {label, source, metrics} and appends it as a JSONL line. The file
+        is append-only: a (label, source) pair that is already present is
+        refused (exit 1), so a PR cannot silently rewrite history — pick a
+        new label (e.g. the PR number or git describe) instead.
+show    Prints the trajectory, one line per (record, metric), with the
+        delta against the previous record of the same source — the
+        across-PR view the trajectory exists for.
+check   Validates the file: parseable JSONL, required keys, metrics are
+        scalars, (label, source) pairs unique. Exit 1 on the first
+        violation; CI runs this against the committed trajectory.
+
+List entries inside a bench file are named by their identifying fields
+(mix, mode, name, variant, graph, ...) when present, by index otherwise,
+so "mixes[read_mostly/snapshot].p99_us" stays stable as entries reorder.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TRAJECTORY = "BENCH_trajectory.jsonl"
+# Fields that identify a list entry, tried in this order.
+IDENTITY_KEYS = ("mix", "mode", "name", "variant", "graph", "bench")
+
+
+def fail(msg):
+    print(f"bench_trajectory: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def entry_name(entry, index):
+    """A stable name for one list entry: its identity fields, else index."""
+    if isinstance(entry, dict):
+        parts = [str(entry[k]) for k in IDENTITY_KEYS if k in entry]
+        if parts:
+            return "/".join(parts)
+    return str(index)
+
+
+def flatten(doc, prefix=""):
+    """All scalar leaves of `doc` as {dotted.path: value}."""
+    metrics = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            metrics.update(flatten(value, path))
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            path = f"{prefix}[{entry_name(value, i)}]"
+            metrics.update(flatten(value, path))
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        metrics[prefix] = doc
+    # Strings/bools/nulls are identity, not metrics: already folded into
+    # the path by entry_name, or irrelevant to a numeric trajectory.
+    return metrics
+
+
+def load_trajectory(path):
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append((lineno, json.loads(line)))
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: invalid JSON: {e}")
+    return records
+
+
+def cmd_append(args):
+    records = load_trajectory(args.trajectory)
+    seen = {(r.get("label"), r.get("source")) for _, r in records}
+    new_lines = []
+    for bench_path in args.bench:
+        try:
+            with open(bench_path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{bench_path}: unreadable or invalid JSON: {e}")
+        source = os.path.basename(bench_path)
+        if (args.label, source) in seen:
+            fail(f"{args.trajectory} already has label {args.label!r} for "
+                 f"{source!r}; the trajectory is append-only — use a new "
+                 f"label")
+        metrics = flatten(doc)
+        if not metrics:
+            fail(f"{bench_path}: no scalar metrics found")
+        record = {"label": args.label, "source": source, "metrics": metrics}
+        new_lines.append(json.dumps(record, sort_keys=True))
+        seen.add((args.label, source))
+    with open(args.trajectory, "a") as f:
+        for line in new_lines:
+            f.write(line + "\n")
+    print(f"{args.trajectory}: appended {len(new_lines)} record(s) "
+          f"with label {args.label!r}")
+
+
+def cmd_show(args):
+    records = load_trajectory(args.trajectory)
+    if not records:
+        print(f"{args.trajectory}: empty trajectory")
+        return
+    previous = {}  # source -> metrics of the latest earlier record
+    for _, record in records:
+        label = record.get("label", "?")
+        source = record.get("source", "?")
+        metrics = record.get("metrics", {})
+        prev = previous.get(source, {})
+        print(f"== {label} :: {source} ({len(metrics)} metrics)")
+        for key in sorted(metrics):
+            value = metrics[key]
+            if key in prev and prev[key] != 0:
+                pct = 100.0 * (value - prev[key]) / abs(prev[key])
+                print(f"  {key:60s} {value:>14.4g}  ({pct:+.1f}%)")
+            else:
+                print(f"  {key:60s} {value:>14.4g}")
+        previous[source] = metrics
+
+
+def cmd_check(args):
+    records = load_trajectory(args.trajectory)
+    seen = set()
+    for lineno, record in records:
+        where = f"{args.trajectory}:{lineno}"
+        for key in ("label", "source", "metrics"):
+            if key not in record:
+                fail(f"{where}: missing key {key!r}")
+        if not isinstance(record["metrics"], dict) or not record["metrics"]:
+            fail(f"{where}: metrics must be a non-empty object")
+        for name, value in record["metrics"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{where}: metric {name!r} is not numeric")
+        pair = (record["label"], record["source"])
+        if pair in seen:
+            fail(f"{where}: duplicate (label, source) {pair!r}")
+        seen.add(pair)
+    print(f"{args.trajectory}: ok ({len(records)} records)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="append bench files as records")
+    p_append.add_argument("--label", required=True,
+                          help="trajectory label (PR number, git describe)")
+    p_append.add_argument("--trajectory", default=DEFAULT_TRAJECTORY)
+    p_append.add_argument("bench", nargs="+", metavar="BENCH_FILE")
+    p_append.set_defaults(func=cmd_append)
+
+    p_show = sub.add_parser("show", help="print the trajectory with deltas")
+    p_show.add_argument("--trajectory", default=DEFAULT_TRAJECTORY)
+    p_show.set_defaults(func=cmd_show)
+
+    p_check = sub.add_parser("check", help="validate the trajectory file")
+    p_check.add_argument("--trajectory", default=DEFAULT_TRAJECTORY)
+    p_check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()
