@@ -48,6 +48,10 @@ GraphHandle FromFlat(const Graph& flat, GraphRepresentation target,
       return GraphHandle::Adopt(ExtractEdges(flat));
     case GraphRepresentation::kSharded:
       return GraphHandle::Shard(flat, shards);
+    case GraphRepresentation::kMapped:
+      // Round-trips through a temporary .cgc container: the handle serves
+      // the flat arrays zero-copy from the (unlinked) mapping.
+      return GraphHandle::MapTempOrDie(flat);
   }
   return GraphHandle();
 }
@@ -155,6 +159,14 @@ Connectivity::Spec Connectivity::Spec::Auto(const GraphHandle& graph,
   if (graph.representation() == GraphRepresentation::kCoo) {
     // Unsampled keeps the whole lifecycle COO-native (edge-centric default
     // variant, so neither Build nor a streaming seed ever builds a CSR).
+    return spec;
+  }
+  if (graph.representation() == GraphRepresentation::kMapped) {
+    // A mapped source stays mapped: converting would materialize the very
+    // arrays the zero-copy container avoids loading, and the mapping serves
+    // the full adjacency surface, so sampling is the only lever worth
+    // pulling.
+    if (avg_degree >= 4.0) spec.Sampling(SamplingConfig::KOut());
     return spec;
   }
   if (avg_degree >= 4.0) {

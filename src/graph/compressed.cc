@@ -1,6 +1,8 @@
 #include "src/graph/compressed.h"
 
 #include <cassert>
+#include <cstring>
+#include <limits>
 
 namespace connectit {
 
@@ -66,6 +68,102 @@ Graph CompressedGraph::Decode() const {
     MapNeighbors(u, [&](NodeId v) { neighbors[pos++] = v; });
   });
   return Graph(std::move(offsets), std::move(neighbors));
+}
+
+size_t CompressedGraph::SerializedByteSize() const {
+  return 4 * sizeof(uint64_t) + degrees_.size() * sizeof(EdgeId) +
+         vertex_offsets_.size() * sizeof(uint64_t) +
+         block_offsets_.size() * sizeof(uint64_t) + data_.size();
+}
+
+void CompressedGraph::SerializeTo(uint8_t* dst) const {
+  static_assert(sizeof(VertexMeta) == sizeof(uint64_t),
+                "VertexMeta must serialize as a bare uint64");
+  auto put = [&dst](const void* src, size_t len) {
+    std::memcpy(dst, src, len);
+    dst += len;
+  };
+  const uint64_t counts[4] = {num_nodes_, num_arcs_,
+                              static_cast<uint64_t>(block_offsets_.size()),
+                              static_cast<uint64_t>(data_.size())};
+  put(counts, sizeof(counts));
+  put(degrees_.data(), degrees_.size() * sizeof(EdgeId));
+  put(vertex_offsets_.data(), vertex_offsets_.size() * sizeof(VertexMeta));
+  put(block_offsets_.data(), block_offsets_.size() * sizeof(uint64_t));
+  put(data_.data(), data_.size());
+}
+
+bool CompressedGraph::Deserialize(const uint8_t* data, size_t len,
+                                  CompressedGraph* out, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (len < 4 * sizeof(uint64_t)) {
+    return fail("compressed chunks: image shorter than its header");
+  }
+  uint64_t counts[4];
+  std::memcpy(counts, data, sizeof(counts));
+  const uint64_t n = counts[0];
+  const uint64_t arcs = counts[1];
+  const uint64_t num_blocks = counts[2];
+  const uint64_t data_bytes = counts[3];
+  if (n > std::numeric_limits<NodeId>::max()) {
+    return fail("compressed chunks: node count exceeds 32-bit ids");
+  }
+  const uint64_t need = 4 * sizeof(uint64_t) + n * sizeof(EdgeId) +
+                        (n + 1) * sizeof(uint64_t) +
+                        num_blocks * sizeof(uint64_t) + data_bytes;
+  if (need != len) {
+    return fail("compressed chunks: image is " + std::to_string(len) +
+                " bytes, counts require " + std::to_string(need));
+  }
+  CompressedGraph cg;
+  cg.num_nodes_ = static_cast<NodeId>(n);
+  cg.num_arcs_ = arcs;
+  const uint8_t* cursor = data + sizeof(counts);
+  cg.degrees_.resize(n);
+  std::memcpy(cg.degrees_.data(), cursor, n * sizeof(EdgeId));
+  cursor += n * sizeof(EdgeId);
+  cg.vertex_offsets_.resize(n + 1);
+  std::memcpy(cg.vertex_offsets_.data(), cursor, (n + 1) * sizeof(uint64_t));
+  cursor += (n + 1) * sizeof(uint64_t);
+  cg.block_offsets_.resize(num_blocks);
+  std::memcpy(cg.block_offsets_.data(), cursor,
+              num_blocks * sizeof(uint64_t));
+  cursor += num_blocks * sizeof(uint64_t);
+  cg.data_.resize(data_bytes);
+  std::memcpy(cg.data_.data(), cursor, data_bytes);
+
+  // Structural validation so a later decode never walks out of the byte
+  // stream: block indices monotone within [0, num_blocks], byte offsets
+  // monotone within the data array, and the degree sum equal to the arc
+  // count.
+  if (cg.vertex_offsets_.front().first_block != 0 ||
+      cg.vertex_offsets_.back().first_block != num_blocks) {
+    return fail("compressed chunks: vertex block index table is malformed");
+  }
+  uint64_t degree_sum = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    if (cg.vertex_offsets_[v].first_block >
+        cg.vertex_offsets_[v + 1].first_block) {
+      return fail("compressed chunks: vertex block indices not monotone");
+    }
+    degree_sum += cg.degrees_[v];
+  }
+  if (degree_sum != arcs) {
+    return fail("compressed chunks: degree sum " +
+                std::to_string(degree_sum) + " does not match arc count " +
+                std::to_string(arcs));
+  }
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    if (cg.block_offsets_[b] >= data_bytes ||
+        (b > 0 && cg.block_offsets_[b - 1] > cg.block_offsets_[b])) {
+      return fail("compressed chunks: block byte offsets are malformed");
+    }
+  }
+  *out = std::move(cg);
+  return true;
 }
 
 }  // namespace connectit

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/graph/csr.h"
@@ -64,6 +65,16 @@ class CompressedGraph {
 
   // Compressed size in bytes (for the compression-ratio experiment).
   size_t byte_size() const { return data_.size(); }
+
+  // On-disk image for the container's optional compressed-chunks section
+  // (container.h): fixed counts followed by the class's arrays verbatim.
+  size_t SerializedByteSize() const;
+  void SerializeTo(uint8_t* dst) const;
+  // Parses an image produced by SerializeTo. Returns false with a
+  // diagnostic in *error on truncation or inconsistent counts, leaving *out
+  // empty — never a partially filled graph.
+  static bool Deserialize(const uint8_t* data, size_t len,
+                          CompressedGraph* out, std::string* error = nullptr);
 
  private:
   struct VertexMeta {

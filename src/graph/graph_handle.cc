@@ -1,5 +1,7 @@
 #include "src/graph/graph_handle.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +14,7 @@ namespace connectit {
 namespace {
 std::atomic<uint64_t> g_coo_csr_materializations{0};
 std::atomic<uint64_t> g_sharded_csr_materializations{0};
+std::atomic<uint64_t> g_mapped_csr_materializations{0};
 }  // namespace
 
 uint64_t CooCsrMaterializations() {
@@ -22,12 +25,17 @@ uint64_t ShardedCsrMaterializations() {
   return g_sharded_csr_materializations.load(std::memory_order_relaxed);
 }
 
+uint64_t MappedCsrMaterializations() {
+  return g_mapped_csr_materializations.load(std::memory_order_relaxed);
+}
+
 const char* ToString(GraphRepresentation rep) {
   switch (rep) {
     case GraphRepresentation::kCsr: return "csr";
     case GraphRepresentation::kCompressed: return "compressed";
     case GraphRepresentation::kCoo: return "coo";
     case GraphRepresentation::kSharded: return "sharded";
+    case GraphRepresentation::kMapped: return "mapped";
   }
   return "unknown";
 }
@@ -42,6 +50,9 @@ GraphHandle::GraphHandle(const EdgeList& edges)
 
 GraphHandle::GraphHandle(const ShardedGraph& graph)
     : sharded_(&graph), flat_cache_(std::make_shared<FlatCsrCache>()) {}
+
+GraphHandle::GraphHandle(const MappedGraph& graph)
+    : mapped_(&graph), flat_cache_(std::make_shared<FlatCsrCache>()) {}
 
 GraphHandle GraphHandle::Adopt(Graph graph) {
   GraphHandle handle;
@@ -77,6 +88,56 @@ GraphHandle GraphHandle::Adopt(ShardedGraph graph) {
   return handle;
 }
 
+GraphHandle GraphHandle::Adopt(MappedGraph graph) {
+  GraphHandle handle;
+  auto owned = std::make_shared<MappedGraph>(std::move(graph));
+  handle.mapped_ = owned.get();
+  handle.owned_ = std::move(owned);
+  handle.flat_cache_ = std::make_shared<FlatCsrCache>();
+  return handle;
+}
+
+GraphHandle GraphHandle::Map(const std::string& path, std::string* error) {
+  MappedGraph mapped;
+  if (!MappedGraph::Map(path, &mapped, error)) return GraphHandle();
+  return Adopt(std::move(mapped));
+}
+
+GraphHandle GraphHandle::MapOrDie(const std::string& path) {
+  std::string error;
+  MappedGraph mapped;
+  if (!MappedGraph::Map(path, &mapped, &error)) {
+    std::fprintf(stderr, "GraphHandle::MapOrDie: %s\n", error.c_str());
+    std::abort();
+  }
+  return Adopt(std::move(mapped));
+}
+
+GraphHandle GraphHandle::MapTempOrDie(const Graph& graph) {
+  // mkstemp gives a private file; once mapped it is unlinked, so the bytes
+  // live only as long as the mapping (the handle family) does.
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                     "/connectit_cgc_XXXXXX";
+  const int fd = mkstemp(path.data());
+  if (fd < 0) {
+    std::fprintf(stderr, "GraphHandle::MapTempOrDie: mkstemp(%s) failed\n",
+                 path.c_str());
+    std::abort();
+  }
+  ::close(fd);
+  std::string error;
+  MappedGraph mapped;
+  if (!WriteContainer(path, graph, &error) ||
+      !MappedGraph::Map(path, &mapped, &error)) {
+    ::unlink(path.c_str());
+    std::fprintf(stderr, "GraphHandle::MapTempOrDie: %s\n", error.c_str());
+    std::abort();
+  }
+  ::unlink(path.c_str());
+  return Adopt(std::move(mapped));
+}
+
 GraphHandle GraphHandle::FromEdges(const EdgeList& edges) {
   return Adopt(edges);
 }
@@ -104,6 +165,16 @@ const Graph& GraphHandle::MaterializedCsr() const {
     std::call_once(flat_cache_->once, [this] {
       flat_cache_->csr = std::make_unique<const Graph>(sharded_->Flatten());
       g_sharded_csr_materializations.fetch_add(1, std::memory_order_relaxed);
+    });
+    return *flat_cache_->csr;
+  }
+  if (mapped_ != nullptr) {
+    // Same contract as sharded: the mapping serves the full adjacency
+    // surface, so registry paths never copy; this exists for flat-CSR-only
+    // consumers and the counter keeps zero-copy serving testable.
+    std::call_once(flat_cache_->once, [this] {
+      flat_cache_->csr = std::make_unique<const Graph>(mapped_->ToGraph());
+      g_mapped_csr_materializations.fetch_add(1, std::memory_order_relaxed);
     });
     return *flat_cache_->csr;
   }

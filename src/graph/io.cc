@@ -1,16 +1,71 @@
 #include "src/graph/io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "src/graph/container.h"
+
 namespace connectit {
 
 namespace {
 
-constexpr uint64_t kBinaryMagic = 0x434f4e4e45435431ULL;  // "CONNECT1"
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+// Reads exactly `len` bytes, reporting the absolute file offset of a short
+// read (`what` names the field or array being read).
+bool ReadExact(std::ifstream& in, void* dst, size_t len,
+               const std::string& path, const char* what,
+               std::string* error) {
+  const auto at = in.tellg();
+  in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len)) {
+    return Fail(error,
+                path + ": short read of " + what + " at offset " +
+                    std::to_string(static_cast<int64_t>(at)) + " (wanted " +
+                    std::to_string(len) + " bytes, got " +
+                    std::to_string(static_cast<int64_t>(in.gcount())) +
+                    ") — truncated file?");
+  }
+  return true;
+}
+
+// Legacy v0 flat dump: magic + n + arcs + raw arrays, no checksums. Kept so
+// snapshots written before the container existed stay loadable; the error
+// strings name the exact field that fell short.
+bool ReadLegacyGraphBinary(std::ifstream& in, const std::string& path,
+                           Graph* out, std::string* error) {
+  uint64_t n = 0;
+  uint64_t arcs = 0;
+  if (!ReadExact(in, &n, sizeof(n), path, "legacy node count", error))
+    return false;
+  if (!ReadExact(in, &arcs, sizeof(arcs), path, "legacy arc count", error))
+    return false;
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<NodeId> neighbors(arcs);
+  if (!ReadExact(in, offsets.data(), (n + 1) * sizeof(EdgeId), path,
+                 "legacy offsets array", error)) {
+    return false;
+  }
+  if (!ReadExact(in, neighbors.data(), arcs * sizeof(NodeId), path,
+                 "legacy neighbors array", error)) {
+    return false;
+  }
+  if (offsets.front() != 0 || offsets.back() != arcs) {
+    return Fail(error, path + ": legacy offsets array is malformed "
+                              "(ends at " +
+                           std::to_string(offsets.back()) + ", header says " +
+                           std::to_string(arcs) + " arcs)");
+  }
+  *out = Graph(std::move(offsets), std::move(neighbors));
+  return true;
+}
 
 }  // namespace
 
@@ -45,58 +100,57 @@ EdgeList ParseEdgeListText(const std::string& text, bool compact_ids) {
   return list;
 }
 
-bool ReadEdgeListFile(const std::string& path, EdgeList* out) {
+bool ReadEdgeListFile(const std::string& path, EdgeList* out,
+                      std::string* error) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) {
+    return Fail(error, path + ": cannot open: " + std::strerror(errno));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    return Fail(error, path + ": read failed after " +
+                           std::to_string(buf.str().size()) + " bytes");
+  }
   *out = ParseEdgeListText(buf.str());
   return true;
 }
 
-bool WriteEdgeListFile(const std::string& path, const EdgeList& edges) {
+bool WriteEdgeListFile(const std::string& path, const EdgeList& edges,
+                       std::string* error) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return Fail(error, path + ": cannot open for writing");
+  }
   out << "# connectit edge list: " << edges.num_nodes << " nodes, "
       << edges.size() << " edges\n";
   for (const Edge& e : edges.edges) out << e.u << ' ' << e.v << '\n';
-  return static_cast<bool>(out);
+  if (!out) return Fail(error, path + ": write failed (disk full?)");
+  return true;
 }
 
-bool WriteGraphBinary(const std::string& path, const Graph& graph) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  const uint64_t magic = kBinaryMagic;
-  const uint64_t n = graph.num_nodes();
-  const uint64_t arcs = graph.num_arcs();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
-  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
-            static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
-  out.write(reinterpret_cast<const char*>(graph.neighbor_array().data()),
-            static_cast<std::streamsize>(arcs * sizeof(NodeId)));
-  return static_cast<bool>(out);
+bool WriteGraphBinary(const std::string& path, const Graph& graph,
+                      std::string* error) {
+  return WriteContainer(path, graph, error);
 }
 
-bool ReadGraphBinary(const std::string& path, Graph* out) {
+bool ReadGraphBinary(const std::string& path, Graph* out, std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) {
+    return Fail(error, path + ": cannot open: " + std::strerror(errno));
+  }
   uint64_t magic = 0;
-  uint64_t n = 0;
-  uint64_t arcs = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kBinaryMagic) return false;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
-  std::vector<EdgeId> offsets(n + 1);
-  std::vector<NodeId> neighbors(arcs);
-  in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
-  in.read(reinterpret_cast<char*>(neighbors.data()),
-          static_cast<std::streamsize>(arcs * sizeof(NodeId)));
-  if (!in) return false;
-  *out = Graph(std::move(offsets), std::move(neighbors));
+  if (!ReadExact(in, &magic, sizeof(magic), path, "magic", error))
+    return false;
+  if (magic == kLegacyBinaryMagic) {
+    return ReadLegacyGraphBinary(in, path, out, error);
+  }
+  in.close();
+  // Anything else must be a container; MappedGraph::Map produces the
+  // precise diagnostic (bad magic, truncation, checksum mismatch, ...).
+  MappedGraph mapped;
+  if (!MappedGraph::Map(path, &mapped, error)) return false;
+  *out = mapped.ToGraph();
   return true;
 }
 

@@ -2,12 +2,20 @@
 //
 // Text format ("<u> <v>" per line, '#' comments, first non-comment line may
 // be "<n> <m>") matches common public dataset dumps (SNAP-style). The binary
-// format is a versioned little-endian dump of the CSR arrays for fast
-// reload.
+// format is the versioned .cgc container (container.h): WriteGraphBinary
+// emits a container, and ReadGraphBinary accepts both containers and the
+// legacy v0 flat dump ("CONNECT1" magic) the pre-container tree wrote, so
+// old snapshots keep loading.
+//
+// Every reader/writer takes an optional error string and fills it with a
+// diagnostic naming the file and the offset or section that failed, so the
+// CLI and tests can print *why* an I/O call returned false instead of just
+// "false".
 
 #ifndef CONNECTIT_GRAPH_IO_H_
 #define CONNECTIT_GRAPH_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/graph/coo.h"
@@ -15,18 +23,31 @@
 
 namespace connectit {
 
+// Magic of the legacy v0 flat binary dump ("CONNECT1"): a bare header
+// (magic, n, arcs) followed by the raw offset and neighbor arrays, with no
+// checksums or section table. ReadGraphBinary still accepts it; the .cgc
+// loader names it in its diagnostic (container.cc) so a stale file gets a
+// "reconvert" hint instead of "bad magic".
+inline constexpr uint64_t kLegacyBinaryMagic = 0x434f4e4e45435431ULL;
+
 // Parses a SNAP-style edge list from `text`. Vertices are remapped densely
 // if `compact_ids` is true; otherwise ids are used verbatim and num_nodes is
 // max id + 1.
 EdgeList ParseEdgeListText(const std::string& text, bool compact_ids = false);
 
-// Reads/writes the text format from disk. Returns false on I/O failure.
-bool ReadEdgeListFile(const std::string& path, EdgeList* out);
-bool WriteEdgeListFile(const std::string& path, const EdgeList& edges);
+// Reads/writes the text format from disk. Returns false on I/O failure with
+// a diagnostic in *error (when non-null).
+bool ReadEdgeListFile(const std::string& path, EdgeList* out,
+                      std::string* error = nullptr);
+bool WriteEdgeListFile(const std::string& path, const EdgeList& edges,
+                       std::string* error = nullptr);
 
-// Binary CSR snapshot.
-bool WriteGraphBinary(const std::string& path, const Graph& graph);
-bool ReadGraphBinary(const std::string& path, Graph* out);
+// Binary CSR snapshot. Writes the versioned .cgc container; reads both the
+// container and the legacy v0 flat dump.
+bool WriteGraphBinary(const std::string& path, const Graph& graph,
+                      std::string* error = nullptr);
+bool ReadGraphBinary(const std::string& path, Graph* out,
+                     std::string* error = nullptr);
 
 }  // namespace connectit
 

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "src/graph/coo.h"
 #include "src/graph/csr.h"
 #include "src/graph/types.h"
 #include "src/parallel/numa.h"
@@ -65,6 +66,17 @@ class ShardedGraph {
   // requested shard count is always honored — P=1, P=n, and P>n are all
   // valid partitions of the same graph.
   static ShardedGraph Partition(const Graph& graph, size_t num_shards = 0);
+
+  // Builds the CSR shard for the vertex range [first, first + count)
+  // directly from an edge list, without ever materializing the full graph:
+  // symmetrized arcs whose source falls in the range are collected, sorted,
+  // and deduplicated with exactly BuildGraph's default semantics
+  // (builder.cc: symmetrize, drop self loops, drop duplicates), so feeding
+  // the shards of a tiling of [0, n) to a ContainerWriter produces a
+  // container byte-identical to writing Partition(BuildGraph(edges), P).
+  // Peak memory is the edge list plus this one shard — the out-of-core
+  // convert path in graph_tool builds billion-edge containers this way.
+  static Shard BuildShard(const EdgeList& edges, NodeId first, NodeId count);
 
   NodeId num_nodes() const { return num_nodes_; }
   EdgeId num_arcs() const { return num_arcs_; }

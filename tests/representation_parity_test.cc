@@ -1,17 +1,19 @@
 // Representation parity: every registered variant, under every sampling
 // scheme, must produce the identical canonical labeling on the plain CSR,
-// byte-compressed, COO edge-list, and sharded-CSR representations of the
-// same graph. This is the acceptance gate for the type-erased GraphHandle
-// seam: no non-CSR input is a special case anywhere in the variant space.
-// The COO column additionally asserts the native-execution contract:
-// unsampled edge-centric variants never materialize a CSR
-// (CooCsrMaterializations stays flat), while sampled runs build it exactly
-// once per handle and cache it. The sharded column asserts the stronger
-// form: *no* run — any variant, any sampling — ever flattens the shards
-// (ShardedCsrMaterializations stays flat across the whole sweep).
+// byte-compressed, COO edge-list, sharded-CSR, and mmap-container
+// representations of the same graph. This is the acceptance gate for the
+// type-erased GraphHandle seam: no non-CSR input is a special case anywhere
+// in the variant space. The COO column additionally asserts the
+// native-execution contract: unsampled edge-centric variants never
+// materialize a CSR (CooCsrMaterializations stays flat), while sampled runs
+// build it exactly once per handle and cache it. The sharded and mapped
+// columns assert the stronger form: *no* run — any variant, any sampling —
+// ever flattens the shards or copies the mapping
+// (Sharded/MappedCsrMaterializations stay flat across the whole sweep).
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "src/core/registry.h"
 #include "src/graph/builder.h"
 #include "src/graph/compressed.h"
+#include "src/graph/container.h"
 #include "src/graph/graph_handle.h"
 #include "src/graph/sharded.h"
 #include "tests/test_graphs.h"
@@ -40,9 +43,12 @@ struct RepresentationSet {
   CompressedGraph compressed;
   EdgeList coo;
   ShardedGraph sharded;
+  MappedGraph mapped;  // move-only: the set owns the unlinked temp mapping
 };
 
-// Each basket graph encoded once, shared by the whole sweep.
+// Each basket graph encoded once, shared by the whole sweep. The mapped
+// member is the graph written to a temp .cgc and mmap'd back; the file is
+// unlinked immediately, so the mapping is the only remaining reference.
 const std::vector<RepresentationSet>& Basket() {
   static const std::vector<RepresentationSet>* basket = [] {
     auto* out = new std::vector<RepresentationSet>();
@@ -50,8 +56,23 @@ const std::vector<RepresentationSet>& Basket() {
       CompressedGraph compressed = CompressedGraph::Encode(graph);
       EdgeList coo = ExtractEdges(graph);
       ShardedGraph sharded = ShardedGraph::Partition(graph, kSweepShards);
-      out->push_back({name, std::move(graph), std::move(compressed),
-                      std::move(coo), std::move(sharded)});
+      const std::string path =
+          ::testing::TempDir() + "/parity_" + name + ".cgc";
+      std::string error;
+      MappedGraph mapped;
+      if (!WriteContainer(path, graph, &error) ||
+          !MappedGraph::Map(path, &mapped, &error)) {
+        ADD_FAILURE() << "container setup for " << name << ": " << error;
+      }
+      std::remove(path.c_str());
+      RepresentationSet set;
+      set.name = name;
+      set.graph = std::move(graph);
+      set.compressed = std::move(compressed);
+      set.coo = std::move(coo);
+      set.sharded = std::move(sharded);
+      set.mapped = std::move(mapped);
+      out->push_back(std::move(set));
     }
     return out;
   }();
@@ -97,9 +118,11 @@ TEST_P(RepresentationParity, AllRepresentationLabelingsMatch) {
     const GraphHandle coded(rep.compressed);
     const GraphHandle coo(rep.coo);
     const GraphHandle sharded(rep.sharded);
+    const GraphHandle mapped(rep.mapped);
     ASSERT_EQ(coded.representation(), GraphRepresentation::kCompressed);
     ASSERT_EQ(coo.representation(), GraphRepresentation::kCoo);
     ASSERT_EQ(sharded.representation(), GraphRepresentation::kSharded);
+    ASSERT_EQ(mapped.representation(), GraphRepresentation::kMapped);
     const std::vector<NodeId> csr_labels =
         CanonicalizeLabels(variant->run(plain, config));
     const std::vector<NodeId> compressed_labels =
@@ -122,6 +145,17 @@ TEST_P(RepresentationParity, AllRepresentationLabelingsMatch) {
         << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
     EXPECT_EQ(ShardedCsrMaterializations(), flattens_before)
         << "a sharded run flattened to CSR: variant=" << param.variant
+        << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
+    // Same contract for the mmap container: every run serves zero-copy off
+    // the mapping, never through a materialized CSR copy.
+    const uint64_t copies_before = MappedCsrMaterializations();
+    const std::vector<NodeId> mapped_labels =
+        CanonicalizeLabels(variant->run(mapped, config));
+    EXPECT_EQ(csr_labels, mapped_labels)
+        << "variant=" << param.variant
+        << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
+    EXPECT_EQ(MappedCsrMaterializations(), copies_before)
+        << "a mapped run copied to CSR: variant=" << param.variant
         << " sampling=" << ToString(param.sampling) << " graph=" << rep.name;
   }
 }
@@ -200,6 +234,10 @@ TEST(RepresentationParity, ForestOnNonCsrHandles) {
       const SpanningForestResult sharded_result =
           v->run_forest(GraphHandle(rep.sharded), {});
       EXPECT_TRUE(CheckSpanningForest(rep.graph, sharded_result.edges))
+          << "variant=" << v->name << " graph=" << rep.name;
+      const SpanningForestResult mapped_result =
+          v->run_forest(GraphHandle(rep.mapped), {});
+      EXPECT_TRUE(CheckSpanningForest(rep.graph, mapped_result.edges))
           << "variant=" << v->name << " graph=" << rep.name;
     }
     break;  // one union-find representative keeps the test fast
@@ -325,6 +363,7 @@ TEST(GraphHandle, RepresentationNameIsExhaustive) {
   EXPECT_STREQ(ToString(GraphRepresentation::kCompressed), "compressed");
   EXPECT_STREQ(ToString(GraphRepresentation::kCoo), "coo");
   EXPECT_STREQ(ToString(GraphRepresentation::kSharded), "sharded");
+  EXPECT_STREQ(ToString(GraphRepresentation::kMapped), "mapped");
 }
 
 // ---- sharded CSR: structure, boundaries, and the native contract ----

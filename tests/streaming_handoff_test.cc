@@ -4,8 +4,9 @@
 // by streamed insertion batches, must land on the same partition as a
 // static run over G0 plus the batches — for every supports_streaming
 // variant, on every graph representation. COO seeds of edge-centric
-// variants must stay COO-native: zero CSR materializations. Sharded seeds
-// are native for *every* variant: zero flat-CSR flattens.
+// variants must stay COO-native: zero CSR materializations. Sharded and
+// mapped (mmap-container) seeds are native for *every* variant: zero
+// flat-CSR flattens / zero mapped-CSR copies.
 
 #include <cctype>
 #include <string>
@@ -57,7 +58,8 @@ std::vector<HandoffCase> AllHandoffCases() {
   for (const Variant* v : StreamingVariants()) {
     for (const GraphRepresentation repr :
          {GraphRepresentation::kCsr, GraphRepresentation::kCompressed,
-          GraphRepresentation::kCoo, GraphRepresentation::kSharded}) {
+          GraphRepresentation::kCoo, GraphRepresentation::kSharded,
+          GraphRepresentation::kMapped}) {
       cases.push_back({v->name, repr});
     }
   }
@@ -100,10 +102,16 @@ TEST_P(SeededHandoff, StaticPassPlusBatchesEqualsFullStatic) {
       // A fixed P > 1 exercises shard boundaries even on 1-core runners.
       handle = GraphHandle::Shard(BuildGraph(base), /*num_shards=*/4);
       break;
+    case GraphRepresentation::kMapped:
+      // Round-trip the base through an unlinked temp .cgc: the seed's
+      // static pass runs straight off the mapping.
+      handle = GraphHandle::MapTempOrDie(BuildGraph(base));
+      break;
   }
 
   const uint64_t builds_before = CooCsrMaterializations();
   const uint64_t flattens_before = ShardedCsrMaterializations();
+  const uint64_t copies_before = MappedCsrMaterializations();
   auto alg =
       variant->make_streaming(StreamingSeed::FromStatic(handle));
   ASSERT_NE(alg, nullptr);
@@ -118,6 +126,11 @@ TEST_P(SeededHandoff, StaticPassPlusBatchesEqualsFullStatic) {
     // shards, never a flattened CSR.
     EXPECT_EQ(ShardedCsrMaterializations(), flattens_before)
         << "sharded seed flattened to a CSR";
+  }
+  if (GetParam().repr == GraphRepresentation::kMapped) {
+    // Every family seeds off the mapping: zero-copy end to end.
+    EXPECT_EQ(MappedCsrMaterializations(), copies_before)
+        << "mapped seed copied to a CSR";
   }
 
   // The seed alone must already match static connectivity on the base.
