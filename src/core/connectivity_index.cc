@@ -1,5 +1,8 @@
 #include "src/core/connectivity_index.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -22,6 +25,13 @@ namespace {
 
 void DeleteSnapshotData(void* p) {
   delete static_cast<internal::SnapshotData*>(p);
+}
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 // Precomputes everything the read surface serves (count, sizes) so every
@@ -204,6 +214,7 @@ Connectivity::Connectivity(Spec spec)
                  spec_.algorithm().ToString().c_str());
     std::abort();
   }
+  cadence_k_ = spec_.publish_every();
   // Head is never null under snapshot serving: reads before the first
   // Build serve the empty labeling, exactly like the shared-lock path.
   if (snapshot_serving()) PublishLocked({});
@@ -225,6 +236,12 @@ Connectivity::Connectivity(Connectivity&& other) noexcept {
   snapshot_.store(other.snapshot_.exchange(nullptr),
                   std::memory_order_release);
   publish_seq_ = other.publish_seq_;
+  cadence_k_ = other.cadence_k_;
+  batches_since_publish_ = other.batches_since_publish_;
+  last_batch_end_us_ = other.last_batch_end_us_;
+  publish_cost_ema_us_ = other.publish_cost_ema_us_;
+  batch_cost_ema_us_ = other.batch_cost_ema_us_;
+  other.batches_since_publish_ = 0;
   other.built_ = false;
   other.labels_stale_ = false;
   other.labels_.clear();
@@ -251,6 +268,12 @@ Connectivity& Connectivity::operator=(Connectivity&& other) noexcept {
     snapshot_.store(other.snapshot_.exchange(nullptr),
                     std::memory_order_release);
     publish_seq_ = other.publish_seq_;
+    cadence_k_ = other.cadence_k_;
+    batches_since_publish_ = other.batches_since_publish_;
+    last_batch_end_us_ = other.last_batch_end_us_;
+    publish_cost_ema_us_ = other.publish_cost_ema_us_;
+    batch_cost_ema_us_ = other.batch_cost_ema_us_;
+    other.batches_since_publish_ = 0;
     other.built_ = false;
     other.labels_stale_ = false;
     other.labels_.clear();
@@ -355,7 +378,9 @@ std::vector<uint8_t> Connectivity::Insert(const std::vector<Edge>& updates,
   if (streaming_ == nullptr) {
     DieF("Connectivity::Insert requires Stream() first");
   }
+  const uint64_t process_start_us = SteadyNowUs();
   std::vector<uint8_t> results = streaming_->ProcessBatch(updates, queries);
+  const uint64_t process_us = SteadyNowUs() - process_start_us;
   // Keep the deletion layer in step: an armed forest absorbs the batch
   // directly; before the first Erase the journal records it for the
   // arming replay (see ArmForestLocked).
@@ -366,10 +391,10 @@ std::vector<uint8_t> Connectivity::Insert(const std::vector<Edge>& updates,
                            updates.end());
   }
   if (snapshot_serving()) {
-    // Publish the post-batch labeling: Θ(n) on the mutator so every read
-    // stays O(1) and wait-free. Readers switch labelings at the pointer
-    // swap — never mid-batch.
-    PublishLocked(streaming_->Labels());
+    // Publish the post-batch labeling (Θ(n) on the mutator so every read
+    // stays O(1) and wait-free; readers switch labelings at the pointer
+    // swap — never mid-batch), or hold it back under a cadence k > 1.
+    MaybePublishBatchLocked(process_us);
   }
   // Mutator-side staging refreshes lazily (shared-lock reads, re-Stream).
   labels_stale_ = true;
@@ -419,12 +444,61 @@ std::vector<uint8_t> Connectivity::Erase(const std::vector<Edge>& updates,
     results[i] = labels[queries[i].u] == labels[queries[i].v] ? 1 : 0;
   });
   if (snapshot_serving()) {
-    // Same discipline as Insert: the post-batch labeling is published
-    // before Erase returns, so no reader ever sees a half-applied batch.
+    // Same discipline as Insert, but never held back by the cadence: a
+    // deletion's effect (and any batches the cadence was holding) is
+    // published before Erase returns, so no reader ever sees a
+    // half-applied batch.
     PublishLocked(streaming_->Labels());
+    batches_since_publish_ = 0;
   }
   labels_stale_ = true;
   return results;
+}
+
+void Connectivity::MaybePublishBatchLocked(uint64_t batch_cost_us) {
+  const uint64_t now_us = SteadyNowUs();
+  const bool quiet = last_batch_end_us_ != 0 &&
+                     now_us - last_batch_end_us_ > kCadenceQuietGapUs;
+  last_batch_end_us_ = now_us;
+  ++batches_since_publish_;
+  constexpr double kAlpha = 0.2;  // EMA smoothing for both cost estimates
+  batch_cost_ema_us_ =
+      batch_cost_ema_us_ == 0
+          ? static_cast<double>(batch_cost_us)
+          : (1 - kAlpha) * batch_cost_ema_us_ + kAlpha * batch_cost_us;
+  if (batches_since_publish_ < cadence_k_ && !quiet) {
+    stats::RecordPublicationSkip();
+    return;
+  }
+  const uint64_t publish_start_us = SteadyNowUs();
+  PublishLocked(streaming_->Labels());
+  const uint64_t publish_us = SteadyNowUs() - publish_start_us;
+  batches_since_publish_ = 0;
+  publish_cost_ema_us_ =
+      publish_cost_ema_us_ == 0
+          ? static_cast<double>(publish_us)
+          : (1 - kAlpha) * publish_cost_ema_us_ + kAlpha * publish_us;
+  if (spec_.adaptive_cadence()) {
+    // Choose k so the amortized Θ(n) publication cost stays at most ~25%
+    // of the measured per-batch processing work.
+    const double budget_us = 0.25 * std::max(batch_cost_ema_us_, 1.0);
+    const double k = std::ceil(publish_cost_ema_us_ / budget_us);
+    cadence_k_ = static_cast<uint32_t>(std::clamp(
+        k, 1.0, static_cast<double>(kMaxAdaptiveCadence)));
+  } else {
+    cadence_k_ = spec_.publish_every();
+  }
+  stats::RecordPublicationCost(publish_us, cadence_k_);
+}
+
+void Connectivity::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!snapshot_serving() || streaming_ == nullptr ||
+      batches_since_publish_ == 0) {
+    return;
+  }
+  PublishLocked(streaming_->Labels());
+  batches_since_publish_ = 0;
 }
 
 SpanningForestResult Connectivity::SpanningForest() const {

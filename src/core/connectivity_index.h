@@ -198,6 +198,33 @@ class Connectivity {
       return *this;
     }
 
+    // Snapshot-publication cadence under kSnapshot serving. k = 1 (the
+    // default) publishes the Θ(n) snapshot after every Insert batch — the
+    // behavior every parity test pins. k > 1 publishes after every k-th
+    // batch: reads keep serving the labeling as of the last published
+    // batch *boundary* (never a half-applied batch), skipped publications
+    // tick stats::ReadServing().publication_skips, and Flush() or the
+    // next Erase forces the held-back state out. The write-heavy-ingest
+    // knob: at high batch rates the per-batch Θ(n) copy dominates, and
+    // most published snapshots are replaced before any reader pins them.
+    Spec& PublishEvery(uint32_t k) {
+      publish_every_ = k == 0 ? 1 : k;
+      return *this;
+    }
+
+    // Measure instead of guessing k: after every publication the index
+    // re-derives the cadence from EMAs of publication cost vs. batch
+    // processing cost, so publication overhead stays a bounded fraction
+    // of ingest work (k clamped to [1, kMaxAdaptiveCadence]). A quiet
+    // stream still publishes promptly: any batch arriving later than
+    // kCadenceQuietGapUs after the previous one publishes immediately.
+    // Overrides PublishEvery; stats::ReadServing().publication_cadence_k
+    // reports the current choice.
+    Spec& AdaptiveCadence(bool adaptive = true) {
+      adaptive_cadence_ = adaptive;
+      return *this;
+    }
+
     const VariantDescriptor& algorithm() const { return algorithm_; }
     const SamplingConfig& sampling() const { return sampling_; }
     std::optional<GraphRepresentation> representation() const {
@@ -205,6 +232,8 @@ class Connectivity {
     }
     size_t shards() const { return shards_; }
     ServingMode serving() const { return serving_; }
+    uint32_t publish_every() const { return publish_every_; }
+    bool adaptive_cadence() const { return adaptive_cadence_; }
 
    private:
     VariantDescriptor algorithm_;
@@ -212,7 +241,15 @@ class Connectivity {
     std::optional<GraphRepresentation> representation_;
     size_t shards_ = 0;
     ServingMode serving_ = ServingMode::kSnapshot;
+    uint32_t publish_every_ = 1;
+    bool adaptive_cadence_ = false;
   };
+
+  // Adaptive cadence never holds back more than this many batches.
+  static constexpr uint32_t kMaxAdaptiveCadence = 64;
+  // A batch arriving after a gap longer than this publishes immediately
+  // (the stream is quiet; holding back buys nothing).
+  static constexpr uint64_t kCadenceQuietGapUs = 50'000;
 
   // Resolves the Spec's descriptor against the registry; dies if the
   // descriptor denotes an unregistered combination (impossible for
@@ -287,6 +324,11 @@ class Connectivity {
   std::vector<uint8_t> Erase(const std::vector<Edge>& updates,
                              const std::vector<Edge>& queries = {});
 
+  // Publishes any batches a cadence k > 1 is still holding back, so
+  // Acquire() reflects every batch Insert/Erase has returned for. No-op
+  // at k = 1, under kSharedLock serving, or when nothing is pending.
+  void Flush();
+
   // Spanning forest of the built graph via the variant's run_forest (paper
   // Algorithm 2). Requires Build and a root-based variant (dies
   // otherwise).
@@ -332,6 +374,12 @@ class Connectivity {
 
   // Unpublishes and retires the current snapshot (destructor, move-out).
   void RetireSnapshot();
+
+  // Insert's publish step: publishes the post-batch labeling or, under a
+  // cadence k > 1, holds it back (ticking publication_skips). Updates the
+  // cost EMAs and, under AdaptiveCadence, re-derives k. Callers hold mu_
+  // exclusively.
+  void MaybePublishBatchLocked(uint64_t batch_cost_us);
 
   bool snapshot_serving() const {
     return spec_.serving() == ServingMode::kSnapshot;
@@ -389,6 +437,14 @@ class Connectivity {
   // kSharedLock. Swapped only under mu_; loaded lock-free by readers.
   std::atomic<internal::SnapshotData*> snapshot_{nullptr};
   uint64_t publish_seq_ = 0;
+
+  // Publication-cadence state (kSnapshot serving; see Spec::PublishEvery
+  // and Spec::AdaptiveCadence). All mutated under mu_ exclusively.
+  uint32_t cadence_k_ = 1;              // current effective k
+  uint32_t batches_since_publish_ = 0;  // held-back batches
+  uint64_t last_batch_end_us_ = 0;      // quiet-stream detection
+  double publish_cost_ema_us_ = 0;      // EMA: one PublishLocked
+  double batch_cost_ema_us_ = 0;        // EMA: one ProcessBatch
 };
 
 }  // namespace connectit

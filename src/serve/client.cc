@@ -1,0 +1,333 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace connectit::serve {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  out_.clear();
+  in_.clear();
+  in_consumed_ = 0;
+}
+
+bool Client::ConnectOnce(std::string* error) {
+  int fd = -1;
+  sockaddr_un uaddr{};
+  sockaddr_in taddr{};
+  const sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+  if (!config_.unix_path.empty()) {
+    fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    uaddr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(uaddr.sun_path)) {
+      if (fd >= 0) close(fd);
+      *error = "unix socket path too long: " + config_.unix_path;
+      return false;
+    }
+    std::strncpy(uaddr.sun_path, config_.unix_path.c_str(),
+                 sizeof(uaddr.sun_path) - 1);
+    addr = reinterpret_cast<const sockaddr*>(&uaddr);
+    addr_len = sizeof(uaddr);
+  } else {
+    fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    taddr.sin_family = AF_INET;
+    taddr.sin_port = htons(config_.tcp_port);
+    if (inet_pton(AF_INET, config_.tcp_host.c_str(), &taddr.sin_addr) != 1) {
+      if (fd >= 0) close(fd);
+      *error = "bad tcp host: " + config_.tcp_host;
+      return false;
+    }
+    addr = reinterpret_cast<const sockaddr*>(&taddr);
+    addr_len = sizeof(taddr);
+  }
+  if (fd < 0) {
+    *error = Errno("socket");
+    return false;
+  }
+  // Nonblocking connect so connect_timeout_ms can be enforced.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (connect(fd, addr, addr_len) != 0 && errno != EINPROGRESS) {
+    *error = Errno("connect");
+    close(fd);
+    return false;
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  const int pr = poll(&pfd, 1, config_.connect_timeout_ms);
+  if (pr <= 0) {
+    *error = pr == 0 ? "connect timed out" : Errno("poll(connect)");
+    close(fd);
+    return false;
+  }
+  int so_error = 0;
+  socklen_t so_len = sizeof(so_error);
+  getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+  if (so_error != 0) {
+    *error = std::string("connect: ") + std::strerror(so_error);
+    close(fd);
+    return false;
+  }
+  // Back to blocking: the client's socket writes are synchronous.
+  fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return true;
+}
+
+bool Client::Connect(std::string* error) {
+  Close();
+  std::string last;
+  for (int attempt = 0; attempt <= config_.max_connect_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.retry_backoff_ms));
+    }
+    if (ConnectOnce(&last)) return true;
+  }
+  if (error != nullptr) {
+    *error = "connect failed after " +
+             std::to_string(config_.max_connect_retries + 1) +
+             " attempts: " + last;
+  }
+  return false;
+}
+
+// ---- pipelined mode ----
+
+uint64_t Client::SendComponent(NodeId v) {
+  const uint64_t id = next_id_++;
+  AppendComponentRequest(id, v, &out_);
+  return id;
+}
+
+uint64_t Client::SendSameComponent(NodeId u, NodeId v) {
+  const uint64_t id = next_id_++;
+  AppendSameComponentRequest(id, u, v, &out_);
+  return id;
+}
+
+uint64_t Client::SendNumComponents() {
+  const uint64_t id = next_id_++;
+  AppendNumComponentsRequest(id, &out_);
+  return id;
+}
+
+uint64_t Client::SendComponentSizes(uint32_t max_entries) {
+  const uint64_t id = next_id_++;
+  AppendComponentSizesRequest(id, max_entries, &out_);
+  return id;
+}
+
+uint64_t Client::SendMutate(Opcode opcode, const MutateRequest& request) {
+  const uint64_t id = next_id_++;
+  AppendMutateRequest(opcode, id, request, &out_);
+  return id;
+}
+
+uint64_t Client::SendStats() {
+  const uint64_t id = next_id_++;
+  AppendStatsRequest(id, &out_);
+  return id;
+}
+
+bool Client::Flush(std::string* error) {
+  size_t written = 0;
+  while (written < out_.size()) {
+    const ssize_t w = write(fd_, out_.data() + written, out_.size() - written);
+    if (w > 0) {
+      written += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (error != nullptr) *error = Errno("write");
+    return false;
+  }
+  out_.clear();
+  return true;
+}
+
+bool Client::Poll(Response* out, int timeout_ms, std::string* error) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  while (true) {
+    // Try to parse a complete frame from the buffer first.
+    const size_t available = in_.size() - in_consumed_;
+    if (available >= kFrameHeaderBytes) {
+      const uint8_t* base = in_.data() + in_consumed_;
+      FrameHeader header;
+      std::string decode_error;
+      if (!DecodeFrameHeader(base, available, &header, &decode_error)) {
+        if (error != nullptr) *error = decode_error;
+        return false;
+      }
+      const size_t frame_len = kFrameHeaderBytes + header.payload_length;
+      if (available >= frame_len) {
+        const uint8_t* payload = base + kFrameHeaderBytes;
+        if (!ValidatePayload(header, payload, &decode_error)) {
+          if (error != nullptr) *error = decode_error;
+          return false;
+        }
+        if ((header.opcode & kResponseBit) == 0) {
+          if (error != nullptr) *error = "server sent a request frame";
+          return false;
+        }
+        if (header.payload_length == 0) {
+          if (error != nullptr) *error = "response frame missing status byte";
+          return false;
+        }
+        out->request_id = header.request_id;
+        out->opcode =
+            static_cast<Opcode>(header.opcode & ~kResponseBit);
+        out->status = static_cast<Status>(payload[0]);
+        out->payload.assign(payload, payload + header.payload_length);
+        in_consumed_ += frame_len;
+        if (in_consumed_ == in_.size()) {
+          in_.clear();
+          in_consumed_ = 0;
+        } else if (in_consumed_ > (1u << 20)) {
+          in_.erase(in_.begin(),
+                    in_.begin() + static_cast<ptrdiff_t>(in_consumed_));
+          in_consumed_ = 0;
+        }
+        return true;
+      }
+    }
+    // Need more bytes. timeout_ms == 0 still makes one nonblocking
+    // attempt (poll with zero timeout), so Poll(out, 0, ...) drains
+    // whatever already arrived without ever sleeping.
+    const int64_t remaining = deadline - NowMs();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr =
+        poll(&pfd, 1, remaining > 0 ? static_cast<int>(remaining) : 0);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("poll");
+      return false;
+    }
+    if (pr == 0) {
+      if (error != nullptr) *error = "request timed out";
+      return false;
+    }
+    uint8_t buf[64 * 1024];
+    const ssize_t r = read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      in_.insert(in_.end(), buf, buf + r);
+      continue;
+    }
+    if (r == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return false;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (error != nullptr) *error = Errno("read");
+    return false;
+  }
+}
+
+// ---- blocking mode ----
+
+bool Client::AwaitResponse(uint64_t id, Response* out, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  if (!Flush(error)) return false;
+  const int64_t deadline = NowMs() + config_.request_timeout_ms;
+  while (true) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      if (error != nullptr) *error = "request timed out";
+      return false;
+    }
+    if (!Poll(out, static_cast<int>(remaining), error)) return false;
+    if (out->request_id == id) return true;
+    // A stale response from an earlier abandoned request: skip it.
+  }
+}
+
+bool Client::Component(NodeId v, Status* status, NodeId* label,
+                       std::string* error) {
+  Response resp;
+  if (!AwaitResponse(SendComponent(v), &resp, error)) return false;
+  return DecodeComponentResponse(resp.payload.data(), resp.payload.size(),
+                                 status, label, error);
+}
+
+bool Client::SameComponent(NodeId u, NodeId v, Status* status, bool* connected,
+                           std::string* error) {
+  Response resp;
+  if (!AwaitResponse(SendSameComponent(u, v), &resp, error)) return false;
+  return DecodeSameComponentResponse(resp.payload.data(), resp.payload.size(),
+                                     status, connected, error);
+}
+
+bool Client::NumComponents(Status* status, NodeId* count, uint64_t* version,
+                           std::string* error) {
+  Response resp;
+  if (!AwaitResponse(SendNumComponents(), &resp, error)) return false;
+  return DecodeNumComponentsResponse(resp.payload.data(), resp.payload.size(),
+                                     status, count, version, error);
+}
+
+bool Client::ComponentSizes(uint32_t max_entries, Status* status,
+                            NodeId* count,
+                            std::vector<ComponentSizesEntry>* entries,
+                            std::string* error) {
+  Response resp;
+  if (!AwaitResponse(SendComponentSizes(max_entries), &resp, error)) {
+    return false;
+  }
+  return DecodeComponentSizesResponse(resp.payload.data(),
+                                      resp.payload.size(), status, count,
+                                      entries, error);
+}
+
+bool Client::Mutate(Opcode opcode, const MutateRequest& request,
+                    MutateResponse* response, std::string* error) {
+  Response resp;
+  if (!AwaitResponse(SendMutate(opcode, request), &resp, error)) return false;
+  return DecodeMutateResponse(resp.payload.data(), resp.payload.size(),
+                              response, error);
+}
+
+bool Client::Stats(StatsProbe* probe, std::string* error) {
+  Response resp;
+  if (!AwaitResponse(SendStats(), &resp, error)) return false;
+  return DecodeStatsResponse(resp.payload.data(), resp.payload.size(), probe,
+                             error);
+}
+
+}  // namespace connectit::serve

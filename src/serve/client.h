@@ -1,0 +1,119 @@
+// connectit::serve::Client — the protocol client used by connectit_client
+// (the CLI) and bench_serving's forked client processes.
+//
+// Two usage modes over one connection:
+//
+//   Blocking: Component(), SameComponent(), NumComponents(),
+//   ComponentSizes(), Mutate(), Stats() each send one frame and wait for
+//   its response (request_timeout_ms bounds the wait). One outstanding
+//   request at a time — the simple mode for CLIs and tests.
+//
+//   Pipelined: Send*() queues a frame locally and returns its request_id;
+//   Flush() writes the queued bytes; Poll() returns the next response
+//   frame whenever one is complete. Any number of requests may be in
+//   flight; responses are matched by request_id (mutation responses may
+//   interleave after later reads — see protocol.h). This is the mode the
+//   open-loop bench clients use so a slow response never stalls the
+//   arrival schedule.
+//
+// Connect() retries a refused/timed-out connection a bounded number of
+// times (max_connect_retries, retry_backoff_ms between attempts) so bench
+// clients can start while the server is still binding. Request-level
+// transport errors are never retried by the library: the caller sees the
+// error and decides (a mutation may or may not have been applied).
+
+#ifndef CONNECTIT_SERVE_CLIENT_H_
+#define CONNECTIT_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+
+namespace connectit::serve {
+
+struct ClientConfig {
+  // Unix-domain socket path; takes precedence when non-empty.
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+  int connect_timeout_ms = 2000;
+  int request_timeout_ms = 10000;
+  // Bounded retry for Connect() only (refused / timed out attempts).
+  int max_connect_retries = 20;
+  int retry_backoff_ms = 100;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Establishes the connection with bounded retry. False with a
+  // diagnostic once the retry budget is exhausted.
+  bool Connect(std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- blocking mode ----
+  // Each returns false on a transport or protocol error (*error set); a
+  // server-side refusal is NOT an error — it lands in *status.
+  bool Component(NodeId v, Status* status, NodeId* label, std::string* error);
+  bool SameComponent(NodeId u, NodeId v, Status* status, bool* connected,
+                     std::string* error);
+  bool NumComponents(Status* status, NodeId* count, uint64_t* version,
+                     std::string* error);
+  bool ComponentSizes(uint32_t max_entries, Status* status, NodeId* count,
+                      std::vector<ComponentSizesEntry>* entries,
+                      std::string* error);
+  // opcode is kInsertBatch or kEraseBatch.
+  bool Mutate(Opcode opcode, const MutateRequest& request,
+              MutateResponse* response, std::string* error);
+  bool Stats(StatsProbe* probe, std::string* error);
+
+  // ---- pipelined mode ----
+  // Send*() queues the frame and returns its request_id (unique per
+  // connection). Nothing touches the socket until Flush().
+  uint64_t SendComponent(NodeId v);
+  uint64_t SendSameComponent(NodeId u, NodeId v);
+  uint64_t SendNumComponents();
+  uint64_t SendComponentSizes(uint32_t max_entries);
+  uint64_t SendMutate(Opcode opcode, const MutateRequest& request);
+  uint64_t SendStats();
+
+  // Writes every queued byte (blocks until written or error).
+  bool Flush(std::string* error);
+
+  // One complete response frame, opcode-agnostic; decode the payload with
+  // the Decode*Response helper matching `opcode`.
+  struct Response {
+    uint64_t request_id = 0;
+    Opcode opcode = Opcode::kComponent;
+    Status status = Status::kOk;
+    std::vector<uint8_t> payload;  // full payload, status byte included
+  };
+
+  // Waits up to timeout_ms for the next response frame (any request_id).
+  // Returns false with *error on timeout, EOF, or a malformed frame.
+  bool Poll(Response* out, int timeout_ms, std::string* error);
+
+ private:
+  bool ConnectOnce(std::string* error);
+  // Blocking-mode helper: flush, then Poll until `id` answers.
+  bool AwaitResponse(uint64_t id, Response* out, std::string* error);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> out_;
+  std::vector<uint8_t> in_;
+  size_t in_consumed_ = 0;
+};
+
+}  // namespace connectit::serve
+
+#endif  // CONNECTIT_SERVE_CLIENT_H_

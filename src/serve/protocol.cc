@@ -1,0 +1,540 @@
+#include "src/serve/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace connectit::serve {
+
+namespace {
+
+// Little-endian scalar append/read. The build already refuses big-endian
+// hosts (container.cc), so memcpy of the native representation is the
+// little-endian encoding.
+template <typename T>
+void AppendScalar(T value, std::vector<uint8_t>* out) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T ReadScalar(const uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+// All decode failures funnel through here: format the field-specific
+// message, tick the transport counter, refuse.
+bool Reject(std::string* error, const char* fmt, unsigned long long a = 0,
+            unsigned long long b = 0) {
+  if (error != nullptr) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), fmt, a, b);
+    *error = buf;
+  }
+  stats::RecordProtocolError();
+  return false;
+}
+
+const char* OpName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kComponent: return "Component";
+    case Opcode::kSameComponent: return "SameComponent";
+    case Opcode::kNumComponents: return "NumComponents";
+    case Opcode::kComponentSizes: return "ComponentSizes";
+    case Opcode::kInsertBatch: return "InsertBatch";
+    case Opcode::kEraseBatch: return "EraseBatch";
+    case Opcode::kStats: return "Stats";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* ToString(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBackpressure: return "backpressure";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kNotStreaming: return "not-streaming";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+uint32_t WireChecksum(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+bool KnownOpcode(uint8_t opcode) {
+  const uint8_t op = opcode & ~kResponseBit;
+  return op >= static_cast<uint8_t>(Opcode::kComponent) &&
+         op <= static_cast<uint8_t>(Opcode::kStats);
+}
+
+bool IsReadOpcode(Opcode opcode) {
+  return opcode != Opcode::kInsertBatch && opcode != Opcode::kEraseBatch;
+}
+
+// ---- framing ----
+
+void AppendFrame(Opcode opcode, bool response, uint64_t request_id,
+                 const uint8_t* payload, size_t payload_length,
+                 std::vector<uint8_t>* out) {
+  FrameHeader header;
+  header.opcode = static_cast<uint8_t>(opcode) |
+                  (response ? kResponseBit : uint8_t{0});
+  header.request_id = request_id;
+  header.payload_length = static_cast<uint32_t>(payload_length);
+  header.payload_checksum = WireChecksum(payload, payload_length);
+  header.header_checksum =
+      WireChecksum(&header, kFrameHeaderBytes - sizeof(uint32_t));
+  const size_t at = out->size();
+  out->resize(at + kFrameHeaderBytes + payload_length);
+  std::memcpy(out->data() + at, &header, kFrameHeaderBytes);
+  if (payload_length != 0) {
+    std::memcpy(out->data() + at + kFrameHeaderBytes, payload, payload_length);
+  }
+}
+
+bool DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out,
+                       std::string* error) {
+  if (len < kFrameHeaderBytes) {
+    return Reject(error, "frame header truncated: %llu of 32 bytes", len);
+  }
+  FrameHeader header;
+  std::memcpy(&header, data, kFrameHeaderBytes);
+  if (header.magic != kWireMagic) {
+    return Reject(error, "frame magic mismatch: got 0x%llx", header.magic);
+  }
+  if (header.version != kWireVersion) {
+    return Reject(error, "unsupported wire version %llu (expected %llu)",
+                  header.version, kWireVersion);
+  }
+  // Checksum before the remaining fields: a corrupt opcode/length with a
+  // stale checksum should be reported as corruption, not as an unknown
+  // opcode the peer never sent.
+  const uint32_t expect =
+      WireChecksum(data, kFrameHeaderBytes - sizeof(uint32_t));
+  if (header.header_checksum != expect) {
+    return Reject(error, "frame header checksum mismatch: got 0x%llx, "
+                  "computed 0x%llx", header.header_checksum, expect);
+  }
+  if (header.reserved != 0 || header.reserved2 != 0) {
+    return Reject(error, "frame reserved field nonzero (0x%llx, 0x%llx)",
+                  header.reserved, header.reserved2);
+  }
+  if (!KnownOpcode(header.opcode)) {
+    return Reject(error, "unknown opcode 0x%llx", header.opcode);
+  }
+  if (header.payload_length > kMaxPayloadBytes) {
+    return Reject(error, "payload length %llu exceeds limit %llu",
+                  header.payload_length, kMaxPayloadBytes);
+  }
+  *out = header;
+  return true;
+}
+
+bool ValidatePayload(const FrameHeader& header, const uint8_t* payload,
+                     std::string* error) {
+  const uint32_t got = WireChecksum(payload, header.payload_length);
+  if (got != header.payload_checksum) {
+    return Reject(error, "payload checksum mismatch: got 0x%llx, computed "
+                  "0x%llx", header.payload_checksum, got);
+  }
+  return true;
+}
+
+// ---- request encoders ----
+
+void AppendComponentRequest(uint64_t id, NodeId v, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  AppendScalar<uint32_t>(v, &body);
+  AppendFrame(Opcode::kComponent, false, id, body.data(), body.size(), out);
+}
+
+void AppendSameComponentRequest(uint64_t id, NodeId u, NodeId v,
+                                std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  AppendScalar<uint32_t>(u, &body);
+  AppendScalar<uint32_t>(v, &body);
+  AppendFrame(Opcode::kSameComponent, false, id, body.data(), body.size(),
+              out);
+}
+
+void AppendNumComponentsRequest(uint64_t id, std::vector<uint8_t>* out) {
+  AppendFrame(Opcode::kNumComponents, false, id, nullptr, 0, out);
+}
+
+void AppendComponentSizesRequest(uint64_t id, uint32_t max_entries,
+                                 std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  AppendScalar<uint32_t>(max_entries, &body);
+  AppendFrame(Opcode::kComponentSizes, false, id, body.data(), body.size(),
+              out);
+}
+
+void AppendMutateRequest(Opcode opcode, uint64_t id, const MutateRequest& req,
+                         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  body.reserve(8 + 8 * (req.edges.size() + req.queries.size()));
+  AppendScalar<uint32_t>(static_cast<uint32_t>(req.edges.size()), &body);
+  AppendScalar<uint32_t>(static_cast<uint32_t>(req.queries.size()), &body);
+  for (const Edge& e : req.edges) {
+    AppendScalar<uint32_t>(e.u, &body);
+    AppendScalar<uint32_t>(e.v, &body);
+  }
+  for (const Edge& q : req.queries) {
+    AppendScalar<uint32_t>(q.u, &body);
+    AppendScalar<uint32_t>(q.v, &body);
+  }
+  AppendFrame(opcode, false, id, body.data(), body.size(), out);
+}
+
+void AppendStatsRequest(uint64_t id, std::vector<uint8_t>* out) {
+  AppendFrame(Opcode::kStats, false, id, nullptr, 0, out);
+}
+
+// ---- response encoders ----
+
+void AppendStatusResponse(Opcode opcode, uint64_t id, Status status,
+                          std::vector<uint8_t>* out) {
+  const uint8_t body = static_cast<uint8_t>(status);
+  AppendFrame(opcode, true, id, &body, 1, out);
+}
+
+void AppendComponentResponse(uint64_t id, Status status, NodeId label,
+                             std::vector<uint8_t>* out) {
+  if (status != Status::kOk) {
+    return AppendStatusResponse(Opcode::kComponent, id, status, out);
+  }
+  uint8_t body[5];
+  body[0] = static_cast<uint8_t>(Status::kOk);
+  std::memcpy(body + 1, &label, 4);
+  AppendFrame(Opcode::kComponent, true, id, body, sizeof(body), out);
+}
+
+void AppendSameComponentResponse(uint64_t id, Status status, bool connected,
+                                 std::vector<uint8_t>* out) {
+  if (status != Status::kOk) {
+    return AppendStatusResponse(Opcode::kSameComponent, id, status, out);
+  }
+  const uint8_t body[2] = {static_cast<uint8_t>(Status::kOk),
+                           static_cast<uint8_t>(connected ? 1 : 0)};
+  AppendFrame(Opcode::kSameComponent, true, id, body, sizeof(body), out);
+}
+
+void AppendNumComponentsResponse(uint64_t id, Status status, NodeId count,
+                                 uint64_t version,
+                                 std::vector<uint8_t>* out) {
+  if (status != Status::kOk) {
+    return AppendStatusResponse(Opcode::kNumComponents, id, status, out);
+  }
+  uint8_t body[13];
+  body[0] = static_cast<uint8_t>(Status::kOk);
+  std::memcpy(body + 1, &count, 4);
+  std::memcpy(body + 5, &version, 8);
+  AppendFrame(Opcode::kNumComponents, true, id, body, sizeof(body), out);
+}
+
+void AppendComponentSizesResponse(uint64_t id, Status status, NodeId count,
+                                  const std::vector<ComponentSizesEntry>& e,
+                                  std::vector<uint8_t>* out) {
+  if (status != Status::kOk) {
+    return AppendStatusResponse(Opcode::kComponentSizes, id, status, out);
+  }
+  std::vector<uint8_t> body;
+  body.reserve(9 + 8 * e.size());
+  AppendScalar<uint8_t>(static_cast<uint8_t>(Status::kOk), &body);
+  AppendScalar<uint32_t>(count, &body);
+  AppendScalar<uint32_t>(static_cast<uint32_t>(e.size()), &body);
+  for (const ComponentSizesEntry& entry : e) {
+    AppendScalar<uint32_t>(entry.representative, &body);
+    AppendScalar<uint32_t>(entry.size, &body);
+  }
+  AppendFrame(Opcode::kComponentSizes, true, id, body.data(), body.size(),
+              out);
+}
+
+void AppendMutateResponse(Opcode opcode, uint64_t id,
+                          const MutateResponse& resp,
+                          std::vector<uint8_t>* out) {
+  if (resp.status != Status::kOk) {
+    return AppendStatusResponse(opcode, id, resp.status, out);
+  }
+  std::vector<uint8_t> body;
+  body.reserve(5 + resp.answers.size());
+  AppendScalar<uint8_t>(static_cast<uint8_t>(Status::kOk), &body);
+  AppendScalar<uint32_t>(static_cast<uint32_t>(resp.answers.size()), &body);
+  body.insert(body.end(), resp.answers.begin(), resp.answers.end());
+  AppendFrame(opcode, true, id, body.data(), body.size(), out);
+}
+
+void AppendStatsResponse(uint64_t id, const StatsProbe& probe,
+                         std::vector<uint8_t>* out) {
+  if (probe.status != Status::kOk) {
+    return AppendStatusResponse(Opcode::kStats, id, probe.status, out);
+  }
+  std::vector<uint8_t> body;
+  AppendScalar<uint8_t>(static_cast<uint8_t>(Status::kOk), &body);
+  const uint64_t fields[] = {
+      probe.connections_accepted, probe.connections_dropped, probe.frames_in,
+      probe.frames_out,           probe.bytes_in,            probe.bytes_out,
+      probe.backpressure_rejections, probe.protocol_errors,
+      probe.queue_depth_hwm,      probe.snapshot_publications,
+      probe.publication_skips,    probe.publication_cadence_k,
+      probe.num_nodes,            probe.num_components,
+      probe.snapshot_version,
+  };
+  for (uint64_t f : fields) AppendScalar<uint64_t>(f, &body);
+  AppendFrame(Opcode::kStats, true, id, body.data(), body.size(), out);
+}
+
+// ---- request decoders ----
+
+bool DecodeComponentRequest(const uint8_t* payload, size_t len, NodeId* v,
+                            std::string* error) {
+  if (len != 4) {
+    return Reject(error, "Component request: payload length %llu, "
+                  "expected 4", len);
+  }
+  *v = ReadScalar<uint32_t>(payload);
+  return true;
+}
+
+bool DecodeSameComponentRequest(const uint8_t* payload, size_t len, NodeId* u,
+                                NodeId* v, std::string* error) {
+  if (len != 8) {
+    return Reject(error, "SameComponent request: payload length %llu, "
+                  "expected 8", len);
+  }
+  *u = ReadScalar<uint32_t>(payload);
+  *v = ReadScalar<uint32_t>(payload + 4);
+  return true;
+}
+
+bool DecodeNumComponentsRequest(const uint8_t* payload, size_t len,
+                                std::string* error) {
+  (void)payload;
+  if (len != 0) {
+    return Reject(error, "NumComponents request: payload length %llu, "
+                  "expected 0", len);
+  }
+  return true;
+}
+
+bool DecodeComponentSizesRequest(const uint8_t* payload, size_t len,
+                                 uint32_t* max_entries, std::string* error) {
+  if (len != 4) {
+    return Reject(error, "ComponentSizes request: payload length %llu, "
+                  "expected 4", len);
+  }
+  *max_entries = ReadScalar<uint32_t>(payload);
+  return true;
+}
+
+bool DecodeMutateRequest(Opcode opcode, const uint8_t* payload, size_t len,
+                         MutateRequest* out, std::string* error) {
+  const char* name = OpName(opcode);
+  if (len < 8) {
+    return Reject(error,
+                  (std::string(name) +
+                   " request: truncated count header (%llu of 8 bytes)")
+                      .c_str(),
+                  len);
+  }
+  const uint32_t num_edges = ReadScalar<uint32_t>(payload);
+  const uint32_t num_queries = ReadScalar<uint32_t>(payload + 4);
+  const uint64_t expect = 8 + 8ull * num_edges + 8ull * num_queries;
+  if (len != expect) {
+    return Reject(error,
+                  (std::string(name) +
+                   " request: payload length %llu does not match counts "
+                   "(expected %llu)")
+                      .c_str(),
+                  len, expect);
+  }
+  out->edges.resize(num_edges);
+  out->queries.resize(num_queries);
+  const uint8_t* cursor = payload + 8;
+  for (uint32_t i = 0; i < num_edges; ++i, cursor += 8) {
+    out->edges[i] = {ReadScalar<uint32_t>(cursor),
+                     ReadScalar<uint32_t>(cursor + 4)};
+  }
+  for (uint32_t i = 0; i < num_queries; ++i, cursor += 8) {
+    out->queries[i] = {ReadScalar<uint32_t>(cursor),
+                       ReadScalar<uint32_t>(cursor + 4)};
+  }
+  return true;
+}
+
+bool DecodeStatsRequest(const uint8_t* payload, size_t len,
+                        std::string* error) {
+  (void)payload;
+  if (len != 0) {
+    return Reject(error, "Stats request: payload length %llu, expected 0",
+                  len);
+  }
+  return true;
+}
+
+// ---- response decoders ----
+
+namespace {
+
+// Every response body leads with a status byte; short-circuits non-kOk.
+bool DecodeStatusByte(const char* name, const uint8_t* payload, size_t len,
+                      Status* status, std::string* error) {
+  if (len < 1) {
+    return Reject(error, (std::string(name) +
+                          " response: empty payload (no status byte)")
+                             .c_str());
+  }
+  const uint8_t raw = payload[0];
+  if (raw > static_cast<uint8_t>(Status::kShuttingDown)) {
+    return Reject(error,
+                  (std::string(name) + " response: unknown status %llu")
+                      .c_str(),
+                  raw);
+  }
+  *status = static_cast<Status>(raw);
+  return true;
+}
+
+}  // namespace
+
+bool DecodeComponentResponse(const uint8_t* payload, size_t len,
+                             Status* status, NodeId* label,
+                             std::string* error) {
+  if (!DecodeStatusByte("Component", payload, len, status, error)) {
+    return false;
+  }
+  if (*status != Status::kOk) return true;
+  if (len != 5) {
+    return Reject(error, "Component response: payload length %llu, "
+                  "expected 5", len);
+  }
+  *label = ReadScalar<uint32_t>(payload + 1);
+  return true;
+}
+
+bool DecodeSameComponentResponse(const uint8_t* payload, size_t len,
+                                 Status* status, bool* connected,
+                                 std::string* error) {
+  if (!DecodeStatusByte("SameComponent", payload, len, status, error)) {
+    return false;
+  }
+  if (*status != Status::kOk) return true;
+  if (len != 2) {
+    return Reject(error, "SameComponent response: payload length %llu, "
+                  "expected 2", len);
+  }
+  *connected = payload[1] != 0;
+  return true;
+}
+
+bool DecodeNumComponentsResponse(const uint8_t* payload, size_t len,
+                                 Status* status, NodeId* count,
+                                 uint64_t* version, std::string* error) {
+  if (!DecodeStatusByte("NumComponents", payload, len, status, error)) {
+    return false;
+  }
+  if (*status != Status::kOk) return true;
+  if (len != 13) {
+    return Reject(error, "NumComponents response: payload length %llu, "
+                  "expected 13", len);
+  }
+  *count = ReadScalar<uint32_t>(payload + 1);
+  *version = ReadScalar<uint64_t>(payload + 5);
+  return true;
+}
+
+bool DecodeComponentSizesResponse(const uint8_t* payload, size_t len,
+                                  Status* status, NodeId* count,
+                                  std::vector<ComponentSizesEntry>* entries,
+                                  std::string* error) {
+  if (!DecodeStatusByte("ComponentSizes", payload, len, status, error)) {
+    return false;
+  }
+  if (*status != Status::kOk) return true;
+  if (len < 9) {
+    return Reject(error, "ComponentSizes response: truncated header "
+                  "(%llu of 9 bytes)", len);
+  }
+  *count = ReadScalar<uint32_t>(payload + 1);
+  const uint32_t num_entries = ReadScalar<uint32_t>(payload + 5);
+  if (len != 9 + 8ull * num_entries) {
+    return Reject(error, "ComponentSizes response: payload length %llu does "
+                  "not match entry count (expected %llu)", len,
+                  9 + 8ull * num_entries);
+  }
+  entries->resize(num_entries);
+  const uint8_t* cursor = payload + 9;
+  for (uint32_t i = 0; i < num_entries; ++i, cursor += 8) {
+    (*entries)[i] = {ReadScalar<uint32_t>(cursor),
+                     ReadScalar<uint32_t>(cursor + 4)};
+  }
+  return true;
+}
+
+bool DecodeMutateResponse(const uint8_t* payload, size_t len,
+                          MutateResponse* out, std::string* error) {
+  if (!DecodeStatusByte("Mutate", payload, len, &out->status, error)) {
+    return false;
+  }
+  if (out->status != Status::kOk) return true;
+  if (len < 5) {
+    return Reject(error, "Mutate response: truncated answer header "
+                  "(%llu of 5 bytes)", len);
+  }
+  const uint32_t answers = ReadScalar<uint32_t>(payload + 1);
+  if (len != 5 + static_cast<uint64_t>(answers)) {
+    return Reject(error, "Mutate response: payload length %llu does not "
+                  "match answer count (expected %llu)", len,
+                  5 + static_cast<uint64_t>(answers));
+  }
+  out->answers.assign(payload + 5, payload + 5 + answers);
+  return true;
+}
+
+bool DecodeStatsResponse(const uint8_t* payload, size_t len, StatsProbe* out,
+                         std::string* error) {
+  if (!DecodeStatusByte("Stats", payload, len, &out->status, error)) {
+    return false;
+  }
+  if (out->status != Status::kOk) return true;
+  constexpr size_t kFields = 15;
+  if (len < 1 + 8 * kFields) {
+    return Reject(error, "Stats response: payload length %llu shorter than "
+                  "the %llu known fields", len, kFields);
+  }
+  uint64_t fields[kFields];
+  for (size_t i = 0; i < kFields; ++i) {
+    fields[i] = ReadScalar<uint64_t>(payload + 1 + 8 * i);
+  }
+  out->connections_accepted = fields[0];
+  out->connections_dropped = fields[1];
+  out->frames_in = fields[2];
+  out->frames_out = fields[3];
+  out->bytes_in = fields[4];
+  out->bytes_out = fields[5];
+  out->backpressure_rejections = fields[6];
+  out->protocol_errors = fields[7];
+  out->queue_depth_hwm = fields[8];
+  out->snapshot_publications = fields[9];
+  out->publication_skips = fields[10];
+  out->publication_cadence_k = fields[11];
+  out->num_nodes = fields[12];
+  out->num_components = fields[13];
+  out->snapshot_version = fields[14];
+  return true;
+}
+
+}  // namespace connectit::serve

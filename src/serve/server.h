@@ -1,0 +1,180 @@
+// connectit::serve::Server — the network front end over one Connectivity.
+//
+// Thread model (see ARCHITECTURE.md "Transport layer"):
+//
+//   listeners ──► N worker threads ──► 1 writer thread
+//                 (epoll, own conns)    (bounded MPSC queue)
+//
+// Each worker owns an epoll instance and the connections accepted into it
+// (the listening sockets are registered EPOLLEXCLUSIVE in every worker's
+// epoll, so accepts spread without a dedicated acceptor thread and no
+// thundering herd). A connection never migrates: all reads, writes, and
+// buffer state for it are touched by exactly one worker, so the per-
+// connection state needs no locks.
+//
+// Read requests (Component, SameComponent, NumComponents, ComponentSizes,
+// Stats) are answered by the owning worker straight from an epoch-pinned
+// Snapshot: one Connectivity::Acquire() per batch of ready frames per
+// event-loop wakeup — not per request — then plain array indexing into the
+// pinned labeling. The read path performs no locking and no per-request
+// allocation (responses are encoded into the connection's reusable output
+// buffer), so reads stay wait-free end to end and never block on writers.
+//
+// Mutations (InsertBatch, EraseBatch) are funneled to the single writer
+// thread through a bounded MPSC queue: batches serialize there exactly like
+// direct Connectivity::Insert/Erase callers. When the queue is full the
+// worker replies Status::kBackpressure immediately (nothing is applied,
+// stats::ReadTransport().backpressure_rejections ticks) — explicit
+// backpressure instead of unbounded buffering. The writer applies the
+// batch, encodes the response, and hands it back to the owning worker
+// through that worker's completion queue (eventfd wakeup); the worker
+// writes it out, preserving single-owner connection state.
+//
+// Shutdown (Stop(), typically driven by SIGTERM via a self-pipe in the
+// binary): listeners close first, the writer drains every queued mutation
+// (new ones are refused with Status::kShuttingDown), then workers flush
+// pending responses on every connection before closing it — a client that
+// stops sending sees every answer it was owed.
+
+#ifndef CONNECTIT_SERVE_SERVER_H_
+#define CONNECTIT_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/connectivity_index.h"
+#include "src/serve/protocol.h"
+
+namespace connectit::serve {
+
+struct ServerConfig {
+  // Unix-domain socket path ("" = no UDS listener). An existing socket
+  // file at the path is replaced.
+  std::string unix_path;
+  // TCP listener ("0" port value = no TCP listener). Port 0 with tcp=true
+  // is not supported — pick a port.
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+  // Worker (epoll) threads; each owns its accepted connections.
+  size_t workers = 2;
+  // Bounded mutation-queue capacity; a full queue backpressures.
+  size_t queue_capacity = 128;
+  // accept() backlog.
+  int listen_backlog = 128;
+};
+
+class Server {
+ public:
+  // The index must outlive the server. The server never Builds or
+  // Streams it — arrange the lifecycle before Start (mutations against a
+  // non-streaming index are refused with Status::kNotStreaming).
+  Server(Connectivity* index, ServerConfig config);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the configured listeners and starts worker + writer threads.
+  // False with a diagnostic in *error if a listener cannot bind.
+  bool Start(std::string* error);
+
+  // Graceful shutdown; idempotent. See the header comment for ordering.
+  void Stop();
+
+  bool running() const { return started_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::vector<uint8_t> in;      // unparsed request bytes
+    size_t in_consumed = 0;       // parsed prefix of `in`
+    std::vector<uint8_t> out;     // encoded, unwritten response bytes
+    size_t out_written = 0;
+    bool epollout_armed = false;
+    bool close_after_flush = false;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> frame;   // encoded response
+  };
+
+  struct Worker {
+    int epoll_fd = -1;
+    int completion_event_fd = -1;
+    std::thread thread;
+    std::unordered_map<uint64_t, Connection> conns;
+    std::unordered_map<int, uint64_t> conn_by_fd;
+    std::mutex completion_mu;
+    std::vector<Completion> completions;
+    // Reused by the ComponentSizes handler (no per-request allocation
+    // after warmup).
+    std::vector<ComponentSizesEntry> sizes_scratch;
+  };
+
+  struct Mutation {
+    size_t worker_index = 0;
+    uint64_t conn_id = 0;
+    Opcode opcode = Opcode::kInsertBatch;
+    uint64_t request_id = 0;
+    MutateRequest request;
+  };
+
+  void WorkerLoop(size_t index);
+  void WriterLoop();
+
+  // kKeep: connection stays; kCloseClean: orderly client EOF (not a
+  // drop); kCloseError: protocol violation or transport error (counted
+  // in connections_dropped).
+  enum class DrainResult { kKeep, kCloseClean, kCloseError };
+
+  void AcceptReady(Worker& worker, int listen_fd);
+  // Reads, parses, and dispatches everything ready on `conn`.
+  DrainResult DrainConnection(size_t worker_index, Worker& worker,
+                              Connection& conn, Snapshot& snap,
+                              bool& snap_acquired);
+  // Dispatches one validated frame. Returns false to drop the connection.
+  bool DispatchFrame(size_t worker_index, Worker& worker, Connection& conn,
+                     const FrameHeader& header, const uint8_t* payload,
+                     Snapshot& snap, bool& snap_acquired);
+  void HandleStatsProbe(Connection& conn, uint64_t request_id,
+                        const Snapshot& snap);
+  // Flushes conn.out; arms/disarms EPOLLOUT as needed. Returns false if
+  // the connection died mid-write.
+  bool FlushConnection(Worker& worker, Connection& conn);
+  void CloseConnection(Worker& worker, Connection& conn, bool dropped);
+  void DeliverCompletions(Worker& worker);
+
+  // False (and a kBackpressure/kShuttingDown tick) when refused.
+  bool EnqueueMutation(Mutation mutation, Status* refusal);
+
+  Connectivity* index_;
+  ServerConfig config_;
+
+  std::vector<int> listen_fds_;
+  int stop_event_fd_ = -1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread writer_thread_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Mutation> queue_;
+  bool queue_stopping_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+};
+
+}  // namespace connectit::serve
+
+#endif  // CONNECTIT_SERVE_SERVER_H_

@@ -98,6 +98,13 @@ struct ServingSnapshot {
   uint64_t snapshots_retired = 0;      // blocks handed to deferred reclaim
   uint64_t snapshots_reclaimed = 0;    // blocks actually freed
   uint64_t label_refreshes = 0;        // shared-lock-mode lazy Θ(n) refreshes
+  // ---- publication cadence (Connectivity Spec::PublishEvery/
+  // AdaptivePublication): batches the cadence held back, the cumulative
+  // Θ(n) publication cost that justifies holding them back, and the k the
+  // adaptive policy last chose (a gauge, not a sum) ----
+  uint64_t publication_skips = 0;      // Insert batches not published
+  uint64_t publication_cost_us = 0;    // total µs spent materializing+swapping
+  uint64_t publication_cadence_k = 1;  // last cadence used (gauge)
   // ---- batch-deletion path (Connectivity::Erase / DynamicForest) ----
   uint64_t erase_batches = 0;          // Erase calls applied
   uint64_t edges_erased = 0;           // edges actually removed
@@ -118,6 +125,9 @@ inline std::atomic<uint64_t> g_epoch_advances{0};
 inline std::atomic<uint64_t> g_snapshots_retired{0};
 inline std::atomic<uint64_t> g_snapshots_reclaimed{0};
 inline std::atomic<uint64_t> g_label_refreshes{0};
+inline std::atomic<uint64_t> g_publication_skips{0};
+inline std::atomic<uint64_t> g_publication_cost_us{0};
+inline std::atomic<uint64_t> g_publication_cadence_k{1};
 inline std::atomic<uint64_t> g_erase_batches{0};
 inline std::atomic<uint64_t> g_edges_erased{0};
 inline std::atomic<uint64_t> g_erase_misses{0};
@@ -140,6 +150,17 @@ inline void RecordSnapshotReclaimed() {
 }
 inline void RecordLabelRefresh() {
   internal::g_label_refreshes.fetch_add(1, std::memory_order_relaxed);
+}
+// One Insert batch the cadence policy chose not to publish.
+inline void RecordPublicationSkip() {
+  internal::g_publication_skips.fetch_add(1, std::memory_order_relaxed);
+}
+// One publication's measured Θ(n) cost and the cadence in force when it ran.
+inline void RecordPublicationCost(uint64_t micros, uint64_t cadence_k) {
+  internal::g_publication_cost_us.fetch_add(micros,
+                                            std::memory_order_relaxed);
+  internal::g_publication_cadence_k.store(cadence_k,
+                                          std::memory_order_relaxed);
 }
 // One call per applied Erase batch, with that batch's deletion tallies
 // (see DynamicForest::EraseStats for the field semantics).
@@ -170,6 +191,12 @@ inline ServingSnapshot ReadServing() {
       internal::g_snapshots_reclaimed.load(std::memory_order_relaxed);
   s.label_refreshes =
       internal::g_label_refreshes.load(std::memory_order_relaxed);
+  s.publication_skips =
+      internal::g_publication_skips.load(std::memory_order_relaxed);
+  s.publication_cost_us =
+      internal::g_publication_cost_us.load(std::memory_order_relaxed);
+  s.publication_cadence_k =
+      internal::g_publication_cadence_k.load(std::memory_order_relaxed);
   s.erase_batches = internal::g_erase_batches.load(std::memory_order_relaxed);
   s.edges_erased = internal::g_edges_erased.load(std::memory_order_relaxed);
   s.erase_misses = internal::g_erase_misses.load(std::memory_order_relaxed);
@@ -190,6 +217,9 @@ inline void ResetServing() {
   internal::g_snapshots_retired.store(0, std::memory_order_relaxed);
   internal::g_snapshots_reclaimed.store(0, std::memory_order_relaxed);
   internal::g_label_refreshes.store(0, std::memory_order_relaxed);
+  internal::g_publication_skips.store(0, std::memory_order_relaxed);
+  internal::g_publication_cost_us.store(0, std::memory_order_relaxed);
+  internal::g_publication_cadence_k.store(1, std::memory_order_relaxed);
   internal::g_erase_batches.store(0, std::memory_order_relaxed);
   internal::g_edges_erased.store(0, std::memory_order_relaxed);
   internal::g_erase_misses.store(0, std::memory_order_relaxed);
@@ -256,6 +286,100 @@ inline void ResetLocality() {
   internal::g_local_find_depth.store(0, std::memory_order_relaxed);
   internal::g_cross_node_find_depth.store(0, std::memory_order_relaxed);
   internal::g_cross_node_compressions.store(0, std::memory_order_relaxed);
+}
+
+// ---- transport counters (src/serve/: wire protocol + connectit_server) ----
+//
+// Ticked by the serving subsystem's network layer: connection lifecycle and
+// backpressure events on the server, frame/byte totals on both ends, and
+// protocol_errors by the decode layer itself (protocol.cc ticks on every
+// rejected header/payload, so a fuzzer hitting the parser is counted even
+// without a server around it). Always on, like the serving counters:
+// per-connection events and per-frame ticks are negligible next to a
+// socket round trip. Printed by connectit_server --stats and returned to
+// clients by the wire protocol's Stats probe.
+
+struct TransportSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_dropped = 0;   // closed by error/protocol violation
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t backpressure_rejections = 0;  // mutations refused, queue full
+  uint64_t protocol_errors = 0;          // frames rejected by the decoder
+  uint64_t queue_depth_hwm = 0;          // mutation-queue high-water mark
+};
+
+namespace internal {
+inline std::atomic<uint64_t> g_connections_accepted{0};
+inline std::atomic<uint64_t> g_connections_dropped{0};
+inline std::atomic<uint64_t> g_frames_in{0};
+inline std::atomic<uint64_t> g_frames_out{0};
+inline std::atomic<uint64_t> g_bytes_in{0};
+inline std::atomic<uint64_t> g_bytes_out{0};
+inline std::atomic<uint64_t> g_backpressure_rejections{0};
+inline std::atomic<uint64_t> g_protocol_errors{0};
+inline std::atomic<uint64_t> g_queue_depth_hwm{0};
+}  // namespace internal
+
+inline void RecordConnectionAccepted() {
+  internal::g_connections_accepted.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordConnectionDropped() {
+  internal::g_connections_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordFramesIn(uint64_t frames, uint64_t bytes) {
+  internal::g_frames_in.fetch_add(frames, std::memory_order_relaxed);
+  internal::g_bytes_in.fetch_add(bytes, std::memory_order_relaxed);
+}
+inline void RecordFramesOut(uint64_t frames, uint64_t bytes) {
+  internal::g_frames_out.fetch_add(frames, std::memory_order_relaxed);
+  internal::g_bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+}
+inline void RecordBackpressureRejection() {
+  internal::g_backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordProtocolError() {
+  internal::g_protocol_errors.fetch_add(1, std::memory_order_relaxed);
+}
+// Monotone max: the mutation queue's depth observed after an enqueue.
+inline void RecordQueueDepth(uint64_t depth) {
+  uint64_t cur = internal::g_queue_depth_hwm.load(std::memory_order_relaxed);
+  while (depth > cur && !internal::g_queue_depth_hwm.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+inline TransportSnapshot ReadTransport() {
+  TransportSnapshot s;
+  s.connections_accepted =
+      internal::g_connections_accepted.load(std::memory_order_relaxed);
+  s.connections_dropped =
+      internal::g_connections_dropped.load(std::memory_order_relaxed);
+  s.frames_in = internal::g_frames_in.load(std::memory_order_relaxed);
+  s.frames_out = internal::g_frames_out.load(std::memory_order_relaxed);
+  s.bytes_in = internal::g_bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = internal::g_bytes_out.load(std::memory_order_relaxed);
+  s.backpressure_rejections =
+      internal::g_backpressure_rejections.load(std::memory_order_relaxed);
+  s.protocol_errors =
+      internal::g_protocol_errors.load(std::memory_order_relaxed);
+  s.queue_depth_hwm =
+      internal::g_queue_depth_hwm.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline void ResetTransport() {
+  internal::g_connections_accepted.store(0, std::memory_order_relaxed);
+  internal::g_connections_dropped.store(0, std::memory_order_relaxed);
+  internal::g_frames_in.store(0, std::memory_order_relaxed);
+  internal::g_frames_out.store(0, std::memory_order_relaxed);
+  internal::g_bytes_in.store(0, std::memory_order_relaxed);
+  internal::g_bytes_out.store(0, std::memory_order_relaxed);
+  internal::g_backpressure_rejections.store(0, std::memory_order_relaxed);
+  internal::g_protocol_errors.store(0, std::memory_order_relaxed);
+  internal::g_queue_depth_hwm.store(0, std::memory_order_relaxed);
 }
 
 // RAII: enables counters on construction and restores the previous state.

@@ -1,0 +1,657 @@
+// Fault injection for the wire protocol (the network twin of
+// container_corruption_test.cc): flip or truncate every byte of valid
+// frames and require the decode layer to fail cleanly — false return, a
+// field-specific diagnostic, a protocol_errors tick — and never crash,
+// hang, or misparse. The systematic sweeps XOR every header and payload
+// byte; the named cases pin the precise diagnostic for each class of
+// damage (bad magic, unsupported version, stale checksum, unknown opcode,
+// oversized length, malformed bodies) so error messages stay actionable.
+// CI runs this binary under AddressSanitizer, so "never reads out of
+// bounds" is enforced, not assumed.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/protocol.h"
+#include "src/stats/counters.h"
+
+namespace connectit::serve {
+namespace {
+
+using Bytes = std::vector<uint8_t>;
+
+// Expect `decode_call` (an expression returning bool) to be refused with a
+// non-empty diagnostic containing `needle`, ticking protocol_errors once.
+// The call site must have a `std::string error` in scope that decode_call
+// writes into.
+#define EXPECT_REJECTED(decode_call, needle)                              \
+  do {                                                                    \
+    const uint64_t before = stats::ReadTransport().protocol_errors;       \
+    error.clear();                                                        \
+    EXPECT_FALSE(decode_call) << "accepted corrupt bytes";                \
+    EXPECT_FALSE(error.empty());                                          \
+    EXPECT_NE(error.find(needle), std::string::npos)                      \
+        << "diagnostic \"" << error << "\" does not mention \"" << needle \
+        << "\"";                                                          \
+    EXPECT_EQ(stats::ReadTransport().protocol_errors, before + 1)         \
+        << "rejection did not tick protocol_errors exactly once";         \
+  } while (0)
+
+FrameHeader HeaderOf(const Bytes& frame) {
+  FrameHeader header;
+  std::memcpy(&header, frame.data(), kFrameHeaderBytes);
+  return header;
+}
+
+// Recomputes header_checksum (and, if the payload was patched,
+// payload_checksum) after a deliberate field patch, so the test reaches
+// the targeted validation step instead of tripping the checksum gate.
+void Restamp(Bytes* frame, bool restamp_payload = false) {
+  FrameHeader header = HeaderOf(*frame);
+  if (restamp_payload) {
+    header.payload_checksum = WireChecksum(
+        frame->data() + kFrameHeaderBytes, frame->size() - kFrameHeaderBytes);
+  }
+  std::memcpy(frame->data(), &header, kFrameHeaderBytes);
+  header.header_checksum =
+      WireChecksum(frame->data(), kFrameHeaderBytes - sizeof(uint32_t));
+  std::memcpy(frame->data(), &header, kFrameHeaderBytes);
+}
+
+// One valid frame of every request opcode, including a mutation with both
+// edges and queries so the sweep covers a multi-field body.
+std::vector<Bytes> SampleRequestFrames() {
+  std::vector<Bytes> frames;
+  {
+    Bytes f;
+    AppendComponentRequest(11, 42, &f);
+    frames.push_back(f);
+  }
+  {
+    Bytes f;
+    AppendSameComponentRequest(12, 7, 9, &f);
+    frames.push_back(f);
+  }
+  {
+    Bytes f;
+    AppendNumComponentsRequest(13, &f);
+    frames.push_back(f);
+  }
+  {
+    Bytes f;
+    AppendComponentSizesRequest(14, 128, &f);
+    frames.push_back(f);
+  }
+  {
+    Bytes f;
+    MutateRequest req;
+    req.edges = {{1, 2}, {3, 4}, {5, 6}};
+    req.queries = {{1, 4}};
+    AppendMutateRequest(Opcode::kInsertBatch, 15, req, &f);
+    frames.push_back(f);
+  }
+  {
+    Bytes f;
+    MutateRequest req;
+    req.edges = {{2, 3}};
+    AppendMutateRequest(Opcode::kEraseBatch, 16, req, &f);
+    frames.push_back(f);
+  }
+  {
+    Bytes f;
+    AppendStatsRequest(17, &f);
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+class ProtocolFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { stats::ResetTransport(); }
+};
+
+// ---- round trips: the uncorrupted baseline every fault case perturbs ----
+
+TEST_F(ProtocolFaultTest, EveryRequestOpcodeRoundTrips) {
+  for (const Bytes& frame : SampleRequestFrames()) {
+    FrameHeader header;
+    std::string error;
+    ASSERT_TRUE(DecodeFrameHeader(frame.data(), frame.size(), &header, &error))
+        << error;
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + header.payload_length);
+    const uint8_t* payload = frame.data() + kFrameHeaderBytes;
+    ASSERT_TRUE(ValidatePayload(header, payload, &error)) << error;
+    ASSERT_TRUE(KnownOpcode(header.opcode));
+    EXPECT_EQ(header.opcode & kResponseBit, 0);
+
+    switch (static_cast<Opcode>(header.opcode)) {
+      case Opcode::kComponent: {
+        NodeId v = 0;
+        ASSERT_TRUE(DecodeComponentRequest(payload, header.payload_length, &v,
+                                           &error));
+        EXPECT_EQ(v, 42u);
+        EXPECT_EQ(header.request_id, 11u);
+        break;
+      }
+      case Opcode::kSameComponent: {
+        NodeId u = 0, v = 0;
+        ASSERT_TRUE(DecodeSameComponentRequest(payload, header.payload_length,
+                                               &u, &v, &error));
+        EXPECT_EQ(u, 7u);
+        EXPECT_EQ(v, 9u);
+        break;
+      }
+      case Opcode::kNumComponents:
+        ASSERT_TRUE(
+            DecodeNumComponentsRequest(payload, header.payload_length, &error));
+        break;
+      case Opcode::kComponentSizes: {
+        uint32_t max_entries = 0;
+        ASSERT_TRUE(DecodeComponentSizesRequest(payload, header.payload_length,
+                                                &max_entries, &error));
+        EXPECT_EQ(max_entries, 128u);
+        break;
+      }
+      case Opcode::kInsertBatch: {
+        MutateRequest req;
+        ASSERT_TRUE(DecodeMutateRequest(Opcode::kInsertBatch, payload,
+                                        header.payload_length, &req, &error));
+        ASSERT_EQ(req.edges.size(), 3u);
+        ASSERT_EQ(req.queries.size(), 1u);
+        EXPECT_EQ(req.edges[2].u, 5u);
+        EXPECT_EQ(req.queries[0].v, 4u);
+        break;
+      }
+      case Opcode::kEraseBatch: {
+        MutateRequest req;
+        ASSERT_TRUE(DecodeMutateRequest(Opcode::kEraseBatch, payload,
+                                        header.payload_length, &req, &error));
+        ASSERT_EQ(req.edges.size(), 1u);
+        EXPECT_TRUE(req.queries.empty());
+        break;
+      }
+      case Opcode::kStats:
+        ASSERT_TRUE(DecodeStatsRequest(payload, header.payload_length, &error));
+        break;
+    }
+  }
+  EXPECT_EQ(stats::ReadTransport().protocol_errors, 0u);
+}
+
+TEST_F(ProtocolFaultTest, EveryResponseOpcodeRoundTrips) {
+  std::string error;
+  auto reparse = [&](const Bytes& frame, Opcode want_opcode,
+                     uint64_t want_id) -> std::pair<const uint8_t*, size_t> {
+    FrameHeader header;
+    EXPECT_TRUE(DecodeFrameHeader(frame.data(), frame.size(), &header, &error))
+        << error;
+    EXPECT_EQ(header.opcode, static_cast<uint8_t>(want_opcode) | kResponseBit);
+    EXPECT_EQ(header.request_id, want_id);
+    const uint8_t* payload = frame.data() + kFrameHeaderBytes;
+    EXPECT_TRUE(ValidatePayload(header, payload, &error)) << error;
+    return {payload, header.payload_length};
+  };
+
+  {
+    Bytes f;
+    AppendComponentResponse(21, Status::kOk, 99, &f);
+    auto [p, n] = reparse(f, Opcode::kComponent, 21);
+    Status status;
+    NodeId label = 0;
+    ASSERT_TRUE(DecodeComponentResponse(p, n, &status, &label, &error));
+    EXPECT_EQ(status, Status::kOk);
+    EXPECT_EQ(label, 99u);
+  }
+  {
+    Bytes f;
+    AppendSameComponentResponse(22, Status::kOk, true, &f);
+    auto [p, n] = reparse(f, Opcode::kSameComponent, 22);
+    Status status;
+    bool connected = false;
+    ASSERT_TRUE(DecodeSameComponentResponse(p, n, &status, &connected, &error));
+    EXPECT_EQ(status, Status::kOk);
+    EXPECT_TRUE(connected);
+  }
+  {
+    Bytes f;
+    AppendNumComponentsResponse(23, Status::kOk, 17, 5, &f);
+    auto [p, n] = reparse(f, Opcode::kNumComponents, 23);
+    Status status;
+    NodeId count = 0;
+    uint64_t version = 0;
+    ASSERT_TRUE(
+        DecodeNumComponentsResponse(p, n, &status, &count, &version, &error));
+    EXPECT_EQ(count, 17u);
+    EXPECT_EQ(version, 5u);
+  }
+  {
+    Bytes f;
+    AppendComponentSizesResponse(24, Status::kOk, 2, {{0, 3}, {3, 5}}, &f);
+    auto [p, n] = reparse(f, Opcode::kComponentSizes, 24);
+    Status status;
+    NodeId count = 0;
+    std::vector<ComponentSizesEntry> entries;
+    ASSERT_TRUE(
+        DecodeComponentSizesResponse(p, n, &status, &count, &entries, &error));
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[1].representative, 3u);
+    EXPECT_EQ(entries[1].size, 5u);
+  }
+  {
+    Bytes f;
+    MutateResponse resp;
+    resp.answers = {1, 0, 1};
+    AppendMutateResponse(Opcode::kInsertBatch, 25, resp, &f);
+    auto [p, n] = reparse(f, Opcode::kInsertBatch, 25);
+    MutateResponse got;
+    ASSERT_TRUE(DecodeMutateResponse(p, n, &got, &error));
+    EXPECT_EQ(got.answers, (std::vector<uint8_t>{1, 0, 1}));
+  }
+  {
+    Bytes f;
+    StatsProbe probe;
+    probe.frames_in = 100;
+    probe.snapshot_version = 7;
+    AppendStatsResponse(26, probe, &f);
+    auto [p, n] = reparse(f, Opcode::kStats, 26);
+    StatsProbe got;
+    ASSERT_TRUE(DecodeStatsResponse(p, n, &got, &error));
+    EXPECT_EQ(got.frames_in, 100u);
+    EXPECT_EQ(got.snapshot_version, 7u);
+  }
+  // Non-kOk statuses encode as a lone status byte for every opcode.
+  for (const Status status : {Status::kBackpressure, Status::kBadRequest,
+                              Status::kNotStreaming, Status::kShuttingDown}) {
+    Bytes f;
+    AppendStatusResponse(Opcode::kInsertBatch, 27, status, &f);
+    auto [p, n] = reparse(f, Opcode::kInsertBatch, 27);
+    ASSERT_EQ(n, 1u);
+    MutateResponse got;
+    ASSERT_TRUE(DecodeMutateResponse(p, n, &got, &error));
+    EXPECT_EQ(got.status, status);
+    EXPECT_TRUE(got.answers.empty());
+  }
+  EXPECT_EQ(stats::ReadTransport().protocol_errors, 0u);
+}
+
+// ---- systematic sweeps ----
+
+TEST_F(ProtocolFaultTest, EveryHeaderByteFlipIsRejected) {
+  for (const Bytes& valid : SampleRequestFrames()) {
+    for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+      Bytes frame = valid;
+      frame[i] ^= 0xFF;
+      FrameHeader header;
+      std::string error;
+      const uint64_t before = stats::ReadTransport().protocol_errors;
+      EXPECT_FALSE(DecodeFrameHeader(frame.data(), frame.size(), &header,
+                                     &error))
+          << "header byte " << i << " flip accepted";
+      EXPECT_FALSE(error.empty()) << "header byte " << i;
+      EXPECT_EQ(stats::ReadTransport().protocol_errors, before + 1);
+    }
+  }
+}
+
+TEST_F(ProtocolFaultTest, EveryPayloadByteFlipIsRejected) {
+  for (const Bytes& valid : SampleRequestFrames()) {
+    if (valid.size() == kFrameHeaderBytes) continue;  // no payload to flip
+    FrameHeader header;
+    std::string error;
+    ASSERT_TRUE(DecodeFrameHeader(valid.data(), valid.size(), &header,
+                                  &error));
+    for (size_t i = kFrameHeaderBytes; i < valid.size(); ++i) {
+      Bytes frame = valid;
+      frame[i] ^= 0xFF;
+      EXPECT_REJECTED(ValidatePayload(header, frame.data() + kFrameHeaderBytes,
+                                      &error),
+                      "payload checksum mismatch");
+    }
+  }
+}
+
+TEST_F(ProtocolFaultTest, TruncatedHeaderAtEveryLength) {
+  Bytes frame;
+  AppendComponentRequest(31, 5, &frame);
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    FrameHeader header;
+    std::string error;
+    EXPECT_REJECTED(DecodeFrameHeader(frame.data(), len, &header, &error),
+                    "truncated");
+  }
+}
+
+// ---- named header faults (checksums restamped to reach the target) ----
+
+TEST_F(ProtocolFaultTest, BadMagic) {
+  Bytes frame;
+  AppendStatsRequest(41, &frame);
+  FrameHeader header = HeaderOf(frame);
+  header.magic = 0x2143'4743;  // ".cgc"-ish: wrong-port bytes
+  std::memcpy(frame.data(), &header, kFrameHeaderBytes);
+  Restamp(&frame);
+  std::string error;
+  EXPECT_REJECTED(
+      DecodeFrameHeader(frame.data(), frame.size(), &header, &error),
+      "magic mismatch");
+}
+
+TEST_F(ProtocolFaultTest, UnsupportedVersion) {
+  Bytes frame;
+  AppendStatsRequest(42, &frame);
+  FrameHeader header = HeaderOf(frame);
+  header.version = kWireVersion + 1;
+  std::memcpy(frame.data(), &header, kFrameHeaderBytes);
+  Restamp(&frame);
+  std::string error;
+  EXPECT_REJECTED(
+      DecodeFrameHeader(frame.data(), frame.size(), &header, &error),
+      "unsupported wire version");
+}
+
+// A corrupt opcode whose checksum was NOT restamped must be reported as
+// corruption, not as "unknown opcode" the peer never sent.
+TEST_F(ProtocolFaultTest, StaleChecksumReportsCorruptionNotUnknownOpcode) {
+  Bytes frame;
+  AppendStatsRequest(43, &frame);
+  frame[5] = 0x7F;  // opcode byte, checksum left stale
+  FrameHeader header;
+  std::string error;
+  EXPECT_REJECTED(
+      DecodeFrameHeader(frame.data(), frame.size(), &header, &error),
+      "header checksum mismatch");
+}
+
+TEST_F(ProtocolFaultTest, UnknownOpcode) {
+  for (const uint8_t bad : {uint8_t{0}, uint8_t{8}, uint8_t{0x7F}}) {
+    Bytes frame;
+    AppendStatsRequest(44, &frame);
+    FrameHeader header = HeaderOf(frame);
+    header.opcode = bad;
+    std::memcpy(frame.data(), &header, kFrameHeaderBytes);
+    Restamp(&frame);
+    std::string error;
+    EXPECT_REJECTED(
+        DecodeFrameHeader(frame.data(), frame.size(), &header, &error),
+        "unknown opcode");
+  }
+}
+
+TEST_F(ProtocolFaultTest, NonzeroReservedFieldsRejected) {
+  for (const bool second : {false, true}) {
+    Bytes frame;
+    AppendStatsRequest(45, &frame);
+    FrameHeader header = HeaderOf(frame);
+    if (second) {
+      header.reserved2 = 1;
+    } else {
+      header.reserved = 1;
+    }
+    std::memcpy(frame.data(), &header, kFrameHeaderBytes);
+    Restamp(&frame);
+    std::string error;
+    EXPECT_REJECTED(
+        DecodeFrameHeader(frame.data(), frame.size(), &header, &error),
+        "reserved field nonzero");
+  }
+}
+
+TEST_F(ProtocolFaultTest, OversizedPayloadLengthRejected) {
+  Bytes frame;
+  AppendStatsRequest(46, &frame);
+  FrameHeader header = HeaderOf(frame);
+  header.payload_length = kMaxPayloadBytes + 1;
+  std::memcpy(frame.data(), &header, kFrameHeaderBytes);
+  Restamp(&frame);
+  std::string error;
+  // The hostile length is rejected from the header alone — before any
+  // buffer of that size could be reserved or awaited.
+  EXPECT_REJECTED(
+      DecodeFrameHeader(frame.data(), frame.size(), &header, &error),
+      "exceeds limit");
+}
+
+TEST_F(ProtocolFaultTest, ResponseBitDoesNotConfuseOpcodeValidation) {
+  EXPECT_TRUE(KnownOpcode(static_cast<uint8_t>(Opcode::kComponent) |
+                          kResponseBit));
+  EXPECT_TRUE(KnownOpcode(static_cast<uint8_t>(Opcode::kStats) |
+                          kResponseBit));
+  EXPECT_FALSE(KnownOpcode(kResponseBit));        // response bit + opcode 0
+  EXPECT_FALSE(KnownOpcode(kResponseBit | 0x08));
+}
+
+// ---- request-body faults ----
+
+TEST_F(ProtocolFaultTest, RequestBodyLengthViolations) {
+  const uint8_t junk[16] = {0};
+  std::string error;
+  {
+    NodeId v;
+    EXPECT_REJECTED(DecodeComponentRequest(junk, 3, &v, &error),
+                    "Component request");
+    EXPECT_REJECTED(DecodeComponentRequest(junk, 5, &v, &error),
+                    "expected 4");
+  }
+  {
+    NodeId u, v;
+    EXPECT_REJECTED(DecodeSameComponentRequest(junk, 7, &u, &v, &error),
+                    "SameComponent request");
+  }
+  {
+    EXPECT_REJECTED(DecodeNumComponentsRequest(junk, 1, &error),
+                    "expected 0");
+  }
+  {
+    uint32_t max_entries;
+    EXPECT_REJECTED(
+        DecodeComponentSizesRequest(junk, 8, &max_entries, &error),
+        "ComponentSizes request");
+  }
+  {
+    EXPECT_REJECTED(DecodeStatsRequest(junk, 2, &error), "Stats request");
+  }
+}
+
+TEST_F(ProtocolFaultTest, MutateRequestCountHeaderTruncated) {
+  const uint8_t junk[8] = {0};
+  MutateRequest req;
+  std::string error;
+  for (const size_t len : {size_t{0}, size_t{1}, size_t{7}}) {
+    EXPECT_REJECTED(
+        DecodeMutateRequest(Opcode::kInsertBatch, junk, len, &req, &error),
+        "truncated count header");
+  }
+}
+
+TEST_F(ProtocolFaultTest, MutateRequestCountsMismatchPayload) {
+  // Encode a valid 2-edge, 1-query body, then lie in the count fields.
+  MutateRequest valid;
+  valid.edges = {{1, 2}, {3, 4}};
+  valid.queries = {{1, 3}};
+  Bytes frame;
+  AppendMutateRequest(Opcode::kEraseBatch, 51, valid, &frame);
+  Bytes body(frame.begin() + kFrameHeaderBytes, frame.end());
+  ASSERT_EQ(body.size(), 8u + 8 * 3);
+
+  MutateRequest req;
+  std::string error;
+  {
+    Bytes lied = body;
+    const uint32_t edges = 3;  // claims one more edge than the bytes hold
+    std::memcpy(lied.data(), &edges, 4);
+    EXPECT_REJECTED(DecodeMutateRequest(Opcode::kEraseBatch, lied.data(),
+                                        lied.size(), &req, &error),
+                    "does not match counts");
+  }
+  {
+    // Hostile counts near UINT32_MAX must not overflow the expected-length
+    // arithmetic into a small (matching) value.
+    Bytes lied = body;
+    const uint32_t edges = 0xFFFF'FFFF;
+    const uint32_t queries = 0xFFFF'FFFF;
+    std::memcpy(lied.data(), &edges, 4);
+    std::memcpy(lied.data() + 4, &queries, 4);
+    EXPECT_REJECTED(DecodeMutateRequest(Opcode::kInsertBatch, lied.data(),
+                                        lied.size(), &req, &error),
+                    "does not match counts");
+  }
+  {
+    // One byte shaved off the tail: counts no longer match the length.
+    EXPECT_REJECTED(DecodeMutateRequest(Opcode::kEraseBatch, body.data(),
+                                        body.size() - 1, &req, &error),
+                    "does not match counts");
+  }
+}
+
+// ---- response-body faults (the client's half of the contract) ----
+
+TEST_F(ProtocolFaultTest, ResponseMissingStatusByte) {
+  std::string error;
+  Status status;
+  NodeId label;
+  EXPECT_REJECTED(
+      DecodeComponentResponse(nullptr, 0, &status, &label, &error),
+      "no status byte");
+}
+
+TEST_F(ProtocolFaultTest, ResponseUnknownStatusByte) {
+  const uint8_t body[1] = {
+      static_cast<uint8_t>(Status::kShuttingDown) + 1};
+  std::string error;
+  MutateResponse resp;
+  EXPECT_REJECTED(DecodeMutateResponse(body, 1, &resp, &error),
+                  "unknown status");
+}
+
+TEST_F(ProtocolFaultTest, ResponseBodyLengthViolations) {
+  uint8_t body[32] = {0};  // status byte kOk, zeroed fields
+  std::string error;
+  Status status;
+  {
+    NodeId label;
+    EXPECT_REJECTED(DecodeComponentResponse(body, 4, &status, &label, &error),
+                    "expected 5");
+  }
+  {
+    bool connected;
+    EXPECT_REJECTED(
+        DecodeSameComponentResponse(body, 3, &status, &connected, &error),
+        "expected 2");
+  }
+  {
+    NodeId count;
+    uint64_t version;
+    EXPECT_REJECTED(DecodeNumComponentsResponse(body, 12, &status, &count,
+                                                &version, &error),
+                    "expected 13");
+  }
+  {
+    NodeId count;
+    std::vector<ComponentSizesEntry> entries;
+    EXPECT_REJECTED(DecodeComponentSizesResponse(body, 8, &status, &count,
+                                                 &entries, &error),
+                    "truncated header");
+    // Entry count claims 2 entries but only one is present.
+    uint8_t sized[9 + 8] = {0};
+    const uint32_t num_entries = 2;
+    std::memcpy(sized + 5, &num_entries, 4);
+    EXPECT_REJECTED(
+        DecodeComponentSizesResponse(sized, sizeof(sized), &status, &count,
+                                     &entries, &error),
+        "does not match entry count");
+  }
+  {
+    MutateResponse resp;
+    EXPECT_REJECTED(DecodeMutateResponse(body, 4, &resp, &error),
+                    "truncated answer header");
+    uint8_t answers[5 + 2] = {0};
+    const uint32_t num_answers = 3;  // claims 3, holds 2
+    std::memcpy(answers + 1, &num_answers, 4);
+    EXPECT_REJECTED(
+        DecodeMutateResponse(answers, sizeof(answers), &resp, &error),
+        "does not match answer count");
+  }
+  {
+    StatsProbe probe;
+    EXPECT_REJECTED(DecodeStatsResponse(body, 32, &probe, &error),
+                    "shorter than");
+  }
+}
+
+// Appending fields to StatsProbe must not break old clients: a longer
+// payload than the decoder knows is accepted, extras ignored.
+TEST_F(ProtocolFaultTest, StatsResponseForwardCompatible) {
+  StatsProbe probe;
+  probe.frames_out = 55;
+  probe.num_nodes = 1024;
+  Bytes frame;
+  AppendStatsResponse(61, probe, &frame);
+  Bytes body(frame.begin() + kFrameHeaderBytes, frame.end());
+  body.resize(body.size() + 16, 0xAB);  // two unknown future fields
+  StatsProbe got;
+  std::string error;
+  ASSERT_TRUE(DecodeStatsResponse(body.data(), body.size(), &got, &error))
+      << error;
+  EXPECT_EQ(got.frames_out, 55u);
+  EXPECT_EQ(got.num_nodes, 1024u);
+  EXPECT_EQ(stats::ReadTransport().protocol_errors, 0u);
+}
+
+// ---- deterministic fuzz: random bytes through every decoder ----
+//
+// No assertion beyond "returns" — ASan turns any out-of-bounds read into a
+// failure. xorshift instead of <random> keeps the byte stream identical
+// across platforms and runs.
+
+TEST_F(ProtocolFaultTest, RandomBytesNeverCrashAnyDecoder) {
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::string error;
+  for (int round = 0; round < 2000; ++round) {
+    Bytes bytes(next() % 96);
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(next());
+
+    FrameHeader header;
+    DecodeFrameHeader(bytes.data(), bytes.size(), &header, &error);
+
+    NodeId u, v;
+    uint32_t max_entries;
+    uint64_t version;
+    Status status;
+    bool connected;
+    std::vector<ComponentSizesEntry> entries;
+    MutateRequest mreq;
+    MutateResponse mresp;
+    StatsProbe probe;
+    DecodeComponentRequest(bytes.data(), bytes.size(), &v, &error);
+    DecodeSameComponentRequest(bytes.data(), bytes.size(), &u, &v, &error);
+    DecodeNumComponentsRequest(bytes.data(), bytes.size(), &error);
+    DecodeComponentSizesRequest(bytes.data(), bytes.size(), &max_entries,
+                                &error);
+    DecodeMutateRequest(Opcode::kInsertBatch, bytes.data(), bytes.size(),
+                        &mreq, &error);
+    DecodeStatsRequest(bytes.data(), bytes.size(), &error);
+    DecodeComponentResponse(bytes.data(), bytes.size(), &status, &v, &error);
+    DecodeSameComponentResponse(bytes.data(), bytes.size(), &status,
+                                &connected, &error);
+    DecodeNumComponentsResponse(bytes.data(), bytes.size(), &status, &v,
+                                &version, &error);
+    DecodeComponentSizesResponse(bytes.data(), bytes.size(), &status, &v,
+                                 &entries, &error);
+    DecodeMutateResponse(bytes.data(), bytes.size(), &mresp, &error);
+    DecodeStatsResponse(bytes.data(), bytes.size(), &probe, &error);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace connectit::serve

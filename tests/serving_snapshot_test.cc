@@ -313,5 +313,129 @@ TEST(ServingSnapshot, ManyReadersOneWriterStress) {
             CanonicalizeLabels(full.Labels()));
 }
 
+// ---- publication cadence (Spec::PublishEvery / Spec::AdaptiveCadence) ----
+
+// Shared skeleton for the cadence tests: stream batches into an index with
+// the given spec and require every acquired snapshot to sit exactly on a
+// batch boundary — matching one of the reference prefix labelings, never a
+// half-applied batch — with versions monotone and an unchanged version
+// implying unchanged labels.
+void StreamAndCheckBoundaries(Connectivity& index, const char* what) {
+  const NodeId n = 512;
+  const EdgeList stream = GenerateRmatEdges(n, 3ull * n, /*seed=*/7);
+  const size_t kBatch = 128;
+
+  // Reference labelings at every batch boundary, computed up front so the
+  // cadence loop below runs tight (publication skips are timing-based:
+  // a batch landing > kCadenceQuietGapUs after the previous one always
+  // publishes).
+  Connectivity ref;
+  ref.Stream(n);
+  std::vector<std::vector<NodeId>> boundary;
+  boundary.push_back(CanonicalizeLabels(ref.Labels()));
+  for (size_t start = 0; start < stream.size(); start += kBatch) {
+    const size_t end = std::min(start + kBatch, stream.size());
+    ref.Insert(std::vector<Edge>(stream.edges.begin() + start,
+                                 stream.edges.begin() + end));
+    boundary.push_back(CanonicalizeLabels(ref.Labels()));
+  }
+
+  index.Stream(n);
+  uint64_t last_version = index.Acquire().version();
+  std::vector<NodeId> last_canon = CanonicalizeLabels(index.Acquire().Labels());
+  size_t batch_index = 0;
+  for (size_t start = 0; start < stream.size(); start += kBatch) {
+    const size_t end = std::min(start + kBatch, stream.size());
+    index.Insert(std::vector<Edge>(stream.edges.begin() + start,
+                                   stream.edges.begin() + end));
+    ++batch_index;
+    const Snapshot snap = index.Acquire();
+    ASSERT_GE(snap.version(), last_version) << what;
+    const std::vector<NodeId> canon = CanonicalizeLabels(snap.Labels());
+    if (snap.version() == last_version) {
+      ASSERT_EQ(canon, last_canon)
+          << what << ": unpublished batch leaked into a stale snapshot";
+    } else {
+      // A fresh publication must be exactly some batch prefix <= current.
+      bool on_boundary = false;
+      for (size_t j = 0; j <= batch_index && !on_boundary; ++j) {
+        on_boundary = (canon == boundary[j]);
+      }
+      ASSERT_TRUE(on_boundary)
+          << what << ": snapshot after batch " << batch_index
+          << " matches no batch boundary (half-applied batch exposed)";
+    }
+    last_version = snap.version();
+    last_canon = canon;
+  }
+
+  // Flush publishes whatever was held back: the served view catches up to
+  // the live labeling (the final boundary) unconditionally.
+  index.Flush();
+  EXPECT_EQ(CanonicalizeLabels(index.Acquire().Labels()), boundary.back())
+      << what << ": Flush did not publish the held-back batches";
+  EXPECT_EQ(index.Acquire().Labels(), index.Labels()) << what;
+  // Idempotent: nothing held back, nothing published.
+  const uint64_t pubs = stats::ReadServing().snapshot_publications;
+  index.Flush();
+  EXPECT_EQ(stats::ReadServing().snapshot_publications, pubs)
+      << what << ": Flush with nothing held back must not publish";
+}
+
+TEST(ServingSnapshot, FixedCadenceNeverExposesHalfAppliedBatches) {
+  const uint64_t skips_before = stats::ReadServing().publication_skips;
+  Connectivity index(Connectivity::Spec().PublishEvery(4));
+  StreamAndCheckBoundaries(index, "PublishEvery(4)");
+  // 12 batches at k=4 on a tight loop: some batches must have been held
+  // back (each skip ticks the counter; the quiet-gap override would need
+  // 50ms stalls between the tiny batches above to defeat every skip).
+  EXPECT_GT(stats::ReadServing().publication_skips, skips_before)
+      << "k=4 never skipped a publication";
+}
+
+TEST(ServingSnapshot, AdaptiveCadenceKeepsSnapshotsOnBatchBoundaries) {
+  Connectivity index(Connectivity::Spec().AdaptiveCadence());
+  StreamAndCheckBoundaries(index, "AdaptiveCadence");
+  const uint64_t k = stats::ReadServing().publication_cadence_k;
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, Connectivity::kMaxAdaptiveCadence);
+}
+
+// Erase cuts through the cadence: a deletion (and the batches held back
+// before it) is visible in the very next Acquire — a stale "still
+// connected" answer after an erase is not acceptable staleness.
+TEST(ServingSnapshot, CadenceErasePublishesImmediately) {
+  Connectivity index(Connectivity::Spec().PublishEvery(8));
+  index.Stream(/*num_nodes=*/64);
+  index.Insert({{1, 2}, {2, 3}});  // batch 1 of 8: may be held back
+  index.Insert({{4, 5}});          // batch 2 of 8: may be held back
+  index.Erase({{1, 2}});
+  const Snapshot snap = index.Acquire();
+  EXPECT_EQ(snap.Labels(), index.Labels());
+  EXPECT_FALSE(snap.SameComponent(1, 2)) << "erase not visible";
+  EXPECT_TRUE(snap.SameComponent(2, 3))
+      << "held-back insert lost across the erase";
+  EXPECT_TRUE(snap.SameComponent(4, 5))
+      << "held-back insert lost across the erase";
+}
+
+// The default spec keeps today's behavior bit-for-bit: k=1, every batch
+// publishes, no skips — pinned so cadence stays strictly opt-in.
+TEST(ServingSnapshot, DefaultSpecPublishesEveryBatch) {
+  EXPECT_EQ(Connectivity::Spec().publish_every(), 1u);
+  EXPECT_FALSE(Connectivity::Spec().adaptive_cadence());
+  const uint64_t skips_before = stats::ReadServing().publication_skips;
+  Connectivity index;
+  index.Stream(/*num_nodes=*/128);
+  uint64_t version = index.Acquire().version();
+  for (int i = 0; i < 6; ++i) {
+    index.Insert({{static_cast<NodeId>(i), static_cast<NodeId>(i + 1)}});
+    const uint64_t now = index.Acquire().version();
+    EXPECT_GT(now, version) << "default spec must publish every batch";
+    version = now;
+  }
+  EXPECT_EQ(stats::ReadServing().publication_skips, skips_before);
+}
+
 }  // namespace
 }  // namespace connectit

@@ -23,8 +23,9 @@ check   Validates the file: parseable JSONL, required keys, metrics are
         violation; CI runs this against the committed trajectory.
 
 List entries inside a bench file are named by their identifying fields
-(mix, mode, name, variant, graph, ...) when present, by index otherwise,
-so "mixes[read_mostly/snapshot].p99_us" stays stable as entries reorder.
+(mix, mode, transport, name, variant, graph, ...) when present, by index
+otherwise, so "mixes[read_mostly/snapshot/inproc].p99_us" stays stable as
+entries reorder.
 """
 
 import argparse
@@ -34,7 +35,8 @@ import sys
 
 DEFAULT_TRAJECTORY = "BENCH_trajectory.jsonl"
 # Fields that identify a list entry, tried in this order.
-IDENTITY_KEYS = ("mix", "mode", "name", "variant", "graph", "bench")
+IDENTITY_KEYS = ("mix", "mode", "transport", "name", "variant", "graph",
+                 "bench")
 
 
 def fail(msg):

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """Schema check for BENCH_serving.json (emitted by bench/bench_serving.cc).
 
-Usage: check_bench_serving.py FILE [FILE...]
+Usage: check_bench_serving.py [--require-socket] FILE [FILE...]
 
 Validates every file: required keys, both serving modes for every mix, all
 five canonical mixes present, numeric sanity (non-negative, percentiles
-monotone p50 <= p99 <= p999 <= max). Exits non-zero with a message on the
-first violation, so CI catches a harness regression that silently stops
-emitting a mode or a field.
+monotone p50 <= p99 <= p999 <= max). Every entry carries its transport:
+"inproc" (threads calling the Connectivity facade directly, client_processes
+= 0) or "socket" (forked client processes speaking the wire protocol to a
+live connectit_server over a Unix socket, client_processes > 0). With
+--require-socket, every mix must additionally have a socket entry — the CI
+gate that the multi-process harness keeps producing end-to-end numbers.
+Exits non-zero with a message on the first violation, so CI catches a
+harness regression that silently stops emitting a mode, a transport, or a
+field.
 """
 
 import json
@@ -15,13 +21,14 @@ import sys
 
 REQUIRED_TOP = {"bench", "nodes", "readers", "mixes"}
 REQUIRED_ENTRY = {
-    "mix", "mode", "offered_ops_per_sec", "achieved_ops_per_sec", "ops",
-    "batches", "edges_ingested", "edges_erased", "p50_us", "p99_us",
-    "p999_us", "max_us",
+    "mix", "mode", "transport", "client_processes", "offered_ops_per_sec",
+    "achieved_ops_per_sec", "ops", "batches", "edges_ingested",
+    "edges_erased", "p50_us", "p99_us", "p999_us", "max_us",
 }
 EXPECTED_MIXES = {"read_mostly", "write_heavy", "bursty", "zipfian",
                   "delete_heavy"}
 EXPECTED_MODES = {"snapshot", "shared-lock"}
+EXPECTED_TRANSPORTS = {"inproc", "socket"}
 
 
 def fail(path, msg):
@@ -29,7 +36,7 @@ def fail(path, msg):
     sys.exit(1)
 
 
-def check(path):
+def check(path, require_socket):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -48,7 +55,8 @@ def check(path):
     if not isinstance(doc["mixes"], list) or not doc["mixes"]:
         fail(path, "mixes must be a non-empty list")
 
-    seen = set()
+    seen = set()          # (mix, mode) over inproc entries
+    socket_mixes = set()  # mixes with a socket entry
     for i, entry in enumerate(doc["mixes"]):
         where = f"mixes[{i}]"
         missing = REQUIRED_ENTRY - entry.keys()
@@ -56,7 +64,9 @@ def check(path):
             fail(path, f"{where}: missing keys {sorted(missing)}")
         if entry["mode"] not in EXPECTED_MODES:
             fail(path, f'{where}: unknown mode {entry["mode"]!r}')
-        for key in REQUIRED_ENTRY - {"mix", "mode"}:
+        if entry["transport"] not in EXPECTED_TRANSPORTS:
+            fail(path, f'{where}: unknown transport {entry["transport"]!r}')
+        for key in REQUIRED_ENTRY - {"mix", "mode", "transport"}:
             value = entry[key]
             if not isinstance(value, (int, float)) or value < 0:
                 fail(path, f"{where}: {key} must be a non-negative number")
@@ -67,7 +77,19 @@ def check(path):
             fail(path, f"{where}: percentiles not monotone")
         if entry["mix"] == "delete_heavy" and entry["edges_erased"] == 0:
             fail(path, f"{where}: delete_heavy mix recorded no erases")
-        seen.add((entry["mix"], entry["mode"]))
+        if entry["transport"] == "socket":
+            # Socket entries measure the live server, which serves reads
+            # from snapshots; client_processes is the forked client count.
+            if entry["mode"] != "snapshot":
+                fail(path, f'{where}: socket transport must run mode '
+                           f'"snapshot", got {entry["mode"]!r}')
+            if entry["client_processes"] == 0:
+                fail(path, f"{where}: socket entry with no client processes")
+            socket_mixes.add(entry["mix"])
+        else:
+            if entry["client_processes"] != 0:
+                fail(path, f"{where}: inproc entry claims client processes")
+            seen.add((entry["mix"], entry["mode"]))
 
     mixes_seen = {mix for mix, _ in seen}
     if not EXPECTED_MIXES <= mixes_seen:
@@ -77,15 +99,22 @@ def check(path):
         if modes != EXPECTED_MODES:
             fail(path, f"mix {mix!r} missing modes: "
                        f"{sorted(EXPECTED_MODES - modes)}")
-    print(f"{path}: ok ({len(doc['mixes'])} entries)")
+    if require_socket and not EXPECTED_MIXES <= socket_mixes:
+        fail(path, f"missing socket-transport entries for mixes: "
+                   f"{sorted(EXPECTED_MIXES - socket_mixes)}")
+    print(f"{path}: ok ({len(doc['mixes'])} entries, "
+          f"{len(socket_mixes)} mixes over socket)")
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    require_socket = "--require-socket" in args
+    paths = [a for a in args if a != "--require-socket"]
+    if not paths:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    for path in sys.argv[1:]:
-        check(path)
+    for path in paths:
+        check(path, require_socket)
 
 
 if __name__ == "__main__":
